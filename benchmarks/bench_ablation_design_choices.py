@@ -1,0 +1,77 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two knobs of the S²BDD construction are ablated:
+
+* the **deletion heuristic** ``h(n)`` (Eq. 10) versus keeping nodes in
+  arrival order — the heuristic should give equal or tighter bounds, which
+  is what reduces the number of samples;
+* the **edge ordering** — the vertex-incremental BFS default versus DFS,
+  degree-based and input order; a smaller maximum frontier means fewer
+  states per layer and a cheaper construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontier import EdgeOrdering
+from repro.core.s2bdd import S2BDD
+from repro.experiments.runners import run_ablation_heuristic, run_ablation_ordering
+from repro.preprocess import preprocess
+
+
+@pytest.fixture(scope="module")
+def road_subproblem(dataset_cache):
+    """The largest decomposed component of a Tokyo-substitute query."""
+    graph = dataset_cache.graph("tokyo")
+    terminals = sorted(graph.vertices())[:5]
+    prep = preprocess(graph, terminals, decomposition=dataset_cache.decomposition("tokyo"))
+    if not prep.subproblems:
+        pytest.skip("query decomposed away entirely; nothing to ablate")
+    return max(prep.subproblems, key=lambda sub: sub.graph.num_edges)
+
+
+@pytest.mark.parametrize("use_priority", [True, False], ids=["priority", "arrival"])
+def test_deletion_heuristic(benchmark, road_subproblem, config, use_priority):
+    bdd_factory = lambda: S2BDD(
+        road_subproblem.graph,
+        road_subproblem.terminals,
+        max_width=128,
+        use_priority=use_priority,
+        rng=config.seed,
+    ).run(config.samples)
+    result = benchmark.pedantic(bdd_factory, rounds=1, iterations=1)
+    assert 0.0 <= result.reliability <= 1.0
+
+
+@pytest.mark.parametrize(
+    "ordering",
+    [EdgeOrdering.BFS, EdgeOrdering.DFS, EdgeOrdering.DEGREE, EdgeOrdering.INPUT],
+    ids=lambda o: o.value,
+)
+def test_edge_ordering(benchmark, road_subproblem, config, ordering):
+    bdd = S2BDD(
+        road_subproblem.graph,
+        road_subproblem.terminals,
+        max_width=config.max_width,
+        edge_ordering=ordering,
+        rng=config.seed,
+    )
+    result = benchmark.pedantic(lambda: bdd.run(config.samples), rounds=1, iterations=1)
+    assert 0.0 <= result.reliability <= 1.0
+
+
+def test_print_ablation_tables(benchmark, config):
+    def run_both():
+        return (
+            run_ablation_heuristic(config, dataset="tokyo", num_terminals=config.num_terminals[0]),
+            run_ablation_ordering(config, dataset="tokyo", num_terminals=config.num_terminals[0]),
+        )
+
+    heuristic_table, ordering_table = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(heuristic_table.render())
+    print()
+    print(ordering_table.render())
+    assert len(heuristic_table.rows) == 2
+    assert len(ordering_table.rows) == 4

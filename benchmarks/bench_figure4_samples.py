@@ -1,0 +1,84 @@
+"""Benchmark for Figure 4: effect of the number of samples.
+
+The paper reports that the advantage of the S²BDD approach grows with the
+sample budget ``s``: the construction cost is paid once while the number of
+samples actually drawn (``s'``) stays bounded by the Theorem-1 reduction,
+so the time ratio Pro/Sampling falls as ``s`` grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sampling import SamplingEstimator
+from repro.core.reliability import ReliabilityEstimator
+from repro.utils.timers import Timer
+
+SAMPLE_GRID = (200, 1_000, 5_000)
+
+
+@pytest.mark.parametrize("samples", SAMPLE_GRID)
+def test_pro_time_vs_samples(benchmark, samples, config, dataset_cache, terminal_picker):
+    """Our approach at increasing sample budgets."""
+    dataset = config.large_datasets[0]
+    graph = dataset_cache.graph(dataset)
+    terminals = terminal_picker(graph, config.num_terminals[0])
+    decomposition = dataset_cache.decomposition(dataset)
+    estimator = ReliabilityEstimator(
+        samples=samples, max_width=config.max_width, rng=config.seed
+    )
+    result = benchmark.pedantic(
+        lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+        rounds=1,
+        iterations=1,
+    )
+    # The Theorem-1 reduction must never exceed the requested budget.
+    assert result.samples_used <= samples
+
+
+@pytest.mark.parametrize("samples", SAMPLE_GRID)
+def test_sampling_time_vs_samples(benchmark, samples, config, dataset_cache, terminal_picker):
+    """The baseline at the same budgets (time grows linearly with s)."""
+    dataset = config.large_datasets[0]
+    graph = dataset_cache.graph(dataset)
+    terminals = terminal_picker(graph, config.num_terminals[0])
+    sampler = SamplingEstimator(samples=samples, rng=config.seed)
+    result = benchmark.pedantic(lambda: sampler.estimate(graph, terminals), rounds=1, iterations=1)
+    assert result.samples_used == samples
+
+
+def test_print_figure4_series(benchmark, config, dataset_cache, terminal_picker):
+    """Print the Figure 4 series: reduction rates of time and of samples."""
+    dataset = config.large_datasets[0]
+    graph = dataset_cache.graph(dataset)
+    terminals = terminal_picker(graph, config.num_terminals[0])
+    decomposition = dataset_cache.decomposition(dataset)
+    rows = []
+
+    def sweep():
+        for samples in SAMPLE_GRID:
+            estimator = ReliabilityEstimator(
+                samples=samples, max_width=config.max_width, rng=config.seed
+            )
+            with Timer() as pro_timer:
+                result = estimator.estimate(graph, terminals, decomposition=decomposition)
+            sampler = SamplingEstimator(samples=samples, rng=config.seed)
+            with Timer() as sampling_timer:
+                sampler.estimate(graph, terminals)
+            time_ratio = (
+                pro_timer.elapsed / sampling_timer.elapsed
+                if sampling_timer.elapsed > 0
+                else float("inf")
+            )
+            rows.append((samples, time_ratio, result.samples_used / samples))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"Figure 4 series on {dataset} (k={config.num_terminals[0]})")
+    print(f"{'s':>8s} {'time ratio':>11s} {'sample ratio':>13s}")
+    for samples, time_ratio, sample_ratio in rows:
+        print(f"{samples:8d} {time_ratio:11.3f} {sample_ratio:13.3f}")
+    # Shape check: the time ratio at the largest budget is no worse than at
+    # the smallest (the paper's Figure 4(a) trend).
+    assert rows[-1][1] <= rows[0][1] * 1.5

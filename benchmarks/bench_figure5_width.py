@@ -1,0 +1,62 @@
+"""Benchmark for Figure 5: effect of the maximum S²BDD width ``w``.
+
+The paper's observation: memory (number of retained diagram nodes) grows
+with ``w``, while response time is comparatively flat because a larger
+width buys tighter bounds and therefore fewer samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reliability import ReliabilityEstimator
+from repro.utils.timers import Timer
+
+WIDTH_GRID = (64, 256, 1_024)
+
+
+@pytest.mark.parametrize("width", WIDTH_GRID)
+def test_time_vs_width(benchmark, width, config, dataset_cache, terminal_picker):
+    """Response time at increasing width caps."""
+    dataset = config.large_datasets[0]
+    graph = dataset_cache.graph(dataset)
+    terminals = terminal_picker(graph, config.num_terminals[0])
+    decomposition = dataset_cache.decomposition(dataset)
+    estimator = ReliabilityEstimator(samples=config.samples, max_width=width, rng=config.seed)
+    result = benchmark.pedantic(
+        lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+        rounds=1,
+        iterations=1,
+    )
+    peak = max((sub.peak_width for sub in result.subresults), default=0)
+    assert peak <= width
+
+
+def test_print_figure5_series(benchmark, config, dataset_cache, terminal_picker):
+    """Print the Figure 5 series: peak nodes (memory proxy) and time vs w."""
+    dataset = config.large_datasets[0]
+    graph = dataset_cache.graph(dataset)
+    terminals = terminal_picker(graph, config.num_terminals[0])
+    decomposition = dataset_cache.decomposition(dataset)
+    rows = []
+
+    def sweep():
+        for width in WIDTH_GRID:
+            estimator = ReliabilityEstimator(
+                samples=config.samples, max_width=width, rng=config.seed
+            )
+            with Timer() as timer:
+                result = estimator.estimate(graph, terminals, decomposition=decomposition)
+            peak = max((sub.peak_width for sub in result.subresults), default=0)
+            rows.append((width, peak, timer.elapsed))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"Figure 5 series on {dataset} (k={config.num_terminals[0]})")
+    print(f"{'w':>8s} {'peak nodes':>11s} {'approx MB':>10s} {'time [s]':>9s}")
+    for width, peak, elapsed in rows:
+        print(f"{width:8d} {peak:11d} {peak * 200 / 1e6:10.3f} {elapsed:9.3f}")
+    # Shape check: the memory proxy is monotone (non-decreasing) in w.
+    peaks = [peak for _, peak, _ in rows]
+    assert peaks == sorted(peaks)

@@ -1,0 +1,31 @@
+"""Benchmark / regeneration of Table 2: dataset statistics.
+
+Times dataset construction (the synthetic substitutes are generated on the
+fly) and prints the Table 2 comparison of paper statistics vs the loaded
+graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import available_datasets, load_dataset
+from repro.experiments.runners import run_table2
+
+
+@pytest.mark.parametrize("dataset", available_datasets())
+def test_dataset_load_time(benchmark, dataset, config):
+    """How long it takes to build each (substitute) dataset."""
+    graph = benchmark.pedantic(
+        lambda: load_dataset(dataset, scale=config.scale), rounds=1, iterations=1
+    )
+    assert graph.num_vertices > 0
+    assert graph.num_edges > 0
+
+
+def test_print_table2(benchmark, config):
+    """Regenerate and print Table 2."""
+    table = benchmark.pedantic(lambda: run_table2(config), rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert len(table.rows) == len(config.small_datasets) + len(config.large_datasets)

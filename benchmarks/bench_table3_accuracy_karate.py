@@ -1,0 +1,70 @@
+"""Benchmark for Table 3: accuracy on the Karate dataset.
+
+The paper's Table 3 compares the variance and error rate of Pro(MC/HT)
+against Sampling(MC/HT) on the Karate club, where the exact reliability can
+be computed with the full BDD.  Because the Karate graph fits comfortably
+inside the S²BDD's width cap, Pro is exact (zero error) while the sampling
+baselines retain sampling noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact_bdd import ExactBDD
+from repro.baselines.sampling import SamplingEstimator
+from repro.core.reliability import ReliabilityEstimator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import run_table3
+
+
+@pytest.fixture(scope="module")
+def karate(dataset_cache):
+    return dataset_cache.graph("karate")
+
+
+def test_exact_bdd_reference(benchmark, karate, terminal_picker, config):
+    """Time the exact-answer computation that anchors the accuracy metrics."""
+    terminals = terminal_picker(karate, 5)
+    result = benchmark.pedantic(
+        lambda: ExactBDD(karate, terminals, max_nodes=config.exact_bdd_node_limit).run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= result.reliability <= 1.0
+
+
+def test_pro_estimator_on_karate(benchmark, karate, terminal_picker, config):
+    terminals = terminal_picker(karate, 5)
+    estimator = ReliabilityEstimator(samples=config.samples, max_width=20_000, rng=config.seed)
+    result = benchmark.pedantic(lambda: estimator.estimate(karate, terminals), rounds=1, iterations=1)
+    # On Karate the S²BDD never overflows: the answer is exact.
+    assert result.exact
+
+
+def test_sampling_baseline_on_karate(benchmark, karate, terminal_picker, config):
+    terminals = terminal_picker(karate, 5)
+    sampler = SamplingEstimator(samples=config.samples, rng=config.seed)
+    result = benchmark.pedantic(lambda: sampler.estimate(karate, terminals), rounds=1, iterations=1)
+    assert 0.0 <= result.reliability <= 1.0
+
+
+def test_print_table3(benchmark, config):
+    """Regenerate and print Table 3 (scaled-down q1 x q2)."""
+    accuracy_config = ExperimentConfig(
+        samples=config.samples,
+        max_width=config.max_width,
+        num_terminals=(5,),
+        num_searches=config.num_searches,
+        accuracy_searches=config.accuracy_searches,
+        accuracy_repeats=config.accuracy_repeats,
+        seed=config.seed,
+        exact_bdd_node_limit=max(config.exact_bdd_node_limit, 500_000),
+    )
+    table = benchmark.pedantic(lambda: run_table3(accuracy_config), rounds=1, iterations=1)
+    print()
+    print(table.render())
+    # Shape check: Pro's error rate never exceeds the matching baseline's.
+    rows = {row[1]: row for row in table.rows}
+    assert rows["Pro(MC)"][3] <= rows["Sampling(MC)"][3] + 1e-9
+    assert rows["Pro(HT)"][3] <= rows["Sampling(HT)"][3] + 1e-9

@@ -1,0 +1,61 @@
+"""Shared configuration for the benchmark suites.
+
+The benchmark suites regenerate every table and figure of the paper on the
+``bench``-scale datasets.  By default they run with a configuration small
+enough to finish in a few minutes on a laptop; set the environment variable
+``REPRO_BENCH_PRESET`` to ``default`` or ``paper`` for larger runs (the
+``paper`` preset matches the publication's parameters and takes hours in
+pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import DatasetCache
+
+
+def _preset() -> ExperimentConfig:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "quick").lower()
+    if preset == "paper":
+        return ExperimentConfig.paper()
+    if preset == "default":
+        return ExperimentConfig()
+    # Quick preset, further trimmed so every benchmark file stays snappy.
+    return ExperimentConfig(
+        samples=1_000,
+        max_width=512,
+        num_terminals=(5,),
+        num_searches=1,
+        accuracy_searches=2,
+        accuracy_repeats=2,
+        large_datasets=("tokyo", "dblp1"),
+        small_datasets=("karate", "amrv"),
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    return _preset()
+
+
+@pytest.fixture(scope="session")
+def dataset_cache(config) -> DatasetCache:
+    """Session-wide dataset cache so graphs are generated once."""
+    return DatasetCache(scale=config.scale)
+
+
+@pytest.fixture(scope="session")
+def terminal_picker(config):
+    """Deterministic terminal-set picker shared across benchmarks."""
+
+    def pick(graph, k: int, seed_offset: int = 0):
+        rng = random.Random(config.seed + seed_offset)
+        return rng.sample(sorted(graph.vertices(), key=repr), k)
+
+    return pick

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Collaboration-strength analysis on an uncertain co-authorship graph.
+
+The paper's DBLP experiments treat co-authorship as an uncertain relation:
+the more papers two authors share, the more likely the tie "exists" when
+the community is projected into the future.  Network reliability between a
+group of authors then measures how robustly the group is held together.
+
+This example
+
+1. builds a synthetic DBLP-style co-authorship graph,
+2. compares the reliability of a within-community author group against a
+   cross-community group of the same size,
+3. clusters the graph by reliability (Ceccarello-style) and reports the
+   cluster quality, and
+4. uses the reliability search to find an author's most dependable
+   collaborators.
+
+Run with::
+
+    python examples/coauthor_community_reliability.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ReliabilityEstimator
+from repro.analysis import cluster_uncertain_graph, top_k_reliable_vertices
+from repro.graph.generators import coauthorship_graph
+
+
+def main() -> None:
+    graph = coauthorship_graph(250, num_communities=8, rng=11)
+    print(f"co-authorship graph: {graph}")
+    print(f"average tie probability: {graph.average_probability():.3f}")
+    print()
+
+    estimator = ReliabilityEstimator(samples=2_000, max_width=512, rng=11)
+    rng = random.Random(11)
+
+    # --- 1. Within-community vs cross-community groups --------------------
+    # Approximate communities by picking an author's sampled-world neighbours.
+    anchor = max(graph.vertices(), key=graph.degree)
+    neighbours = sorted(set(graph.neighbors(anchor)))
+    within_group = [anchor] + neighbours[:4]
+    cross_group = rng.sample(sorted(graph.vertices()), 5)
+
+    within = estimator.estimate(graph, within_group)
+    cross = estimator.estimate(graph, cross_group)
+    print("group cohesion (k-terminal reliability)")
+    print(f"  within-community group {within_group}: R = {within.reliability:.4f}")
+    print(f"  random cross-community group {cross_group}: R = {cross.reliability:.4f}")
+    print(f"  cohesive groups score higher: {within.reliability >= cross.reliability}")
+    print()
+
+    # --- 2. Reliability-based clustering -----------------------------------
+    clustering = cluster_uncertain_graph(graph, 6, samples=400, rng=11)
+    print("reliability clustering")
+    print(f"  centres: {list(clustering.centers)}")
+    sizes = sorted(
+        (len(clustering.cluster_members(center)) for center in clustering.centers),
+        reverse=True,
+    )
+    print(f"  cluster sizes: {sizes}")
+    print(f"  average member-to-centre connection probability: "
+          f"{clustering.average_connection_probability():.3f}")
+    print()
+
+    # --- 3. Most dependable collaborators of the anchor author -------------
+    top = top_k_reliable_vertices(graph, [anchor], 5, samples=800, rng=11)
+    print(f"most dependable collaborators of author {anchor}")
+    for author, probability in top:
+        print(f"  author {author:4d}: connection probability {probability:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Protein-complex screening on an uncertain protein-interaction network.
+
+The paper's motivating application (Section 1): protein-protein interaction
+networks are uncertain because interactions are condition-dependent, and
+analysts score candidate protein complexes by the network reliability of
+the member proteins — a complex whose members are reliably connected is a
+plausible functional unit.
+
+This example
+
+1. builds a synthetic PPI network in the style of the paper's Hit-direct
+   dataset (interaction scores as edge probabilities),
+2. scores several candidate complexes with the S²BDD estimator,
+3. uses the reliable-subgraph analysis to grow a complex around a seed
+   protein pair, and
+4. shows how the extension technique shrinks each query before estimation.
+
+Run with::
+
+    python examples/protein_complex_screening.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ReliabilityEstimator, preprocess
+from repro.analysis import find_reliable_subgraph
+from repro.graph.generators import protein_interaction_graph
+
+
+def main() -> None:
+    # A 150-protein interaction network with hub proteins and
+    # interaction-score probabilities (Hit-direct style, scaled down).
+    network = protein_interaction_graph(150, average_degree=10.0, rng=7)
+    print(f"interaction network: {network}")
+    print(f"average interaction score: {network.average_probability():.3f}")
+    print()
+
+    estimator = ReliabilityEstimator(samples=2_000, max_width=512, rng=7)
+
+    # --- 1. Score candidate complexes -------------------------------------
+    rng = random.Random(7)
+    candidates = {
+        f"complex-{index}": rng.sample(range(150), size)
+        for index, size in enumerate((3, 4, 5), start=1)
+    }
+    # A hub-centred complex: hubs are the first few protein ids.
+    candidates["hub-complex"] = [0, 1, 2, 3]
+
+    print("candidate complex screening")
+    print(f"{'complex':14s} {'members':28s} {'reliability':>12s} {'bounds':>22s}")
+    for name, members in candidates.items():
+        result = estimator.estimate(network, members)
+        bounds = f"[{result.lower_bound:.3f}, {result.upper_bound:.3f}]"
+        print(f"{name:14s} {str(members):28s} {result.reliability:12.4f} {bounds:>22s}")
+    print()
+
+    # --- 2. Grow a complex around a seed pair ------------------------------
+    seed_pair = [0, 5]
+    grown = find_reliable_subgraph(
+        network, seed_pair, threshold=0.9, max_size=8, samples=1_000, rng=7
+    )
+    print(f"reliable subgraph around seed {seed_pair}:")
+    print(f"  members    : {list(grown.vertices)}")
+    print(f"  reliability: {grown.reliability:.4f} (threshold 0.9, satisfied={grown.satisfied})")
+    print(f"  expansions : {grown.expansions}, oracle evaluations: {grown.evaluations}")
+    print()
+
+    # --- 3. What the extension technique does to one query -----------------
+    members = candidates["hub-complex"]
+    prep = preprocess(network, members)
+    print("extension technique on the hub complex query")
+    print(f"  original edges : {prep.original_edges}")
+    print(f"  relevant edges : {prep.pruned_edges} after pruning")
+    print(f"  largest reduced component: {prep.reduced_edges} edges "
+          f"(ratio {prep.reduction_ratio:.3f})")
+    print(f"  bridges factored out: {prep.num_bridges} (p_b = {prep.bridge_probability:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the k-terminal reliability of an uncertain graph.
+
+This walks through the core workflow of the library:
+
+1. build an uncertain graph (edges with existence probabilities),
+2. estimate the reliability of a terminal set with the paper's approach
+   (extension technique + S²BDD + stratified sampling),
+3. compare against the exact answer and the plain sampling baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ReliabilityEstimator,
+    SamplingEstimator,
+    UncertainGraph,
+    exact_reliability,
+)
+
+
+def build_example_graph() -> UncertainGraph:
+    """A small communication network with unreliable links.
+
+    Routers a..h; backbone links are reliable (0.95), access links less so.
+    """
+    edges = [
+        ("a", "b", 0.95), ("b", "c", 0.95), ("c", "d", 0.95), ("d", "a", 0.95),
+        ("a", "e", 0.70), ("b", "f", 0.60), ("c", "g", 0.75), ("d", "h", 0.65),
+        ("e", "f", 0.50), ("g", "h", 0.55),
+    ]
+    return UncertainGraph.from_edge_list(edges, name="toy-network")
+
+
+def main() -> None:
+    graph = build_example_graph()
+    terminals = ["e", "g", "h"]
+
+    print(f"graph: {graph}")
+    print(f"terminals: {terminals}")
+    print()
+
+    # The paper's approach.  On a graph this small the S²BDD never exceeds
+    # its width cap, so the answer is exact and no samples are needed.
+    estimator = ReliabilityEstimator(samples=10_000, max_width=1_000, rng=42)
+    result = estimator.estimate(graph, terminals)
+    print("S2BDD estimator (our approach)")
+    print(f"  reliability        : {result.reliability:.6f}")
+    print(f"  certified bounds   : [{result.lower_bound:.6f}, {result.upper_bound:.6f}]")
+    print(f"  exact?             : {result.exact}")
+    print(f"  samples requested  : {result.samples_requested}")
+    print(f"  samples actually used: {result.samples_used}")
+    print(f"  bridge factor p_b  : {result.bridge_probability:.6f}")
+    print(f"  subproblems        : {result.num_subproblems}")
+    print()
+
+    # Ground truth via the exact frontier BDD.
+    exact = exact_reliability(graph, terminals)
+    print(f"exact reliability (full BDD): {exact:.6f}")
+    print()
+
+    # The classic Monte Carlo baseline needs thousands of samples for the
+    # same precision.
+    baseline = SamplingEstimator(samples=10_000, rng=42).estimate(graph, terminals)
+    print("plain sampling baseline")
+    print(f"  reliability : {baseline.reliability:.6f}")
+    print(f"  samples used: {baseline.samples_used}")
+    print(f"  |error|     : {abs(baseline.reliability - exact):.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — Efficient network reliability computation in uncertain graphs.
+
+A from-scratch Python implementation of the EDBT 2019 paper *"Efficient
+Network Reliability Computation in Uncertain Graphs"* (Sasaki, Fujiwara,
+Onizuka): the S²BDD estimator with stratified sample reduction, the
+extension technique based on 2-edge-connected components, the sampling and
+exact-BDD baselines, and the full experiment harness reproducing the
+paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import UncertainGraph, estimate_reliability
+>>> g = UncertainGraph.from_edge_list(
+...     [("a", "b", 0.9), ("b", "c", 0.8), ("a", "c", 0.7), ("c", "d", 0.95)]
+... )
+>>> result = estimate_reliability(g, terminals=["a", "d"], samples=1000, rng=0)
+>>> result.exact  # small graphs are solved exactly
+True
+"""
+
+from repro.baselines import (
+    ExactBDD,
+    SamplingEstimator,
+    brute_force_reliability,
+    exact_bdd_reliability,
+)
+from repro.core import (
+    EdgeOrdering,
+    EstimatorKind,
+    ReliabilityBounds,
+    ReliabilityEstimator,
+    ReliabilityResult,
+    S2BDD,
+    estimate_reliability,
+    exact_reliability,
+    reduced_sample_count,
+)
+from repro.exceptions import (
+    BDDLimitExceededError,
+    ConfigurationError,
+    DatasetError,
+    EstimatorError,
+    GraphError,
+    InvalidProbabilityError,
+    PreprocessError,
+    ReproError,
+    TerminalError,
+)
+from repro.graph import Edge, UncertainGraph
+from repro.preprocess import preprocess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDDLimitExceededError",
+    "ConfigurationError",
+    "DatasetError",
+    "Edge",
+    "EdgeOrdering",
+    "EstimatorError",
+    "EstimatorKind",
+    "ExactBDD",
+    "GraphError",
+    "InvalidProbabilityError",
+    "PreprocessError",
+    "ReliabilityBounds",
+    "ReliabilityEstimator",
+    "ReliabilityResult",
+    "ReproError",
+    "S2BDD",
+    "SamplingEstimator",
+    "TerminalError",
+    "UncertainGraph",
+    "__version__",
+    "brute_force_reliability",
+    "estimate_reliability",
+    "exact_bdd_reliability",
+    "exact_reliability",
+    "preprocess",
+    "reduced_sample_count",
+]

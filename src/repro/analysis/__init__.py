@@ -1,0 +1,41 @@
+"""Uncertain-graph analyses built on top of the reliability estimator.
+
+The paper motivates its estimator by the downstream analyses that call
+network reliability in their inner loop (Section 2, "Other problems with
+uncertain graphs").  This package implements representative versions of
+those analyses so the estimator can be exercised the way the paper's
+intended users would:
+
+* :mod:`repro.analysis.reliable_subgraph` — discover subgraphs whose
+  vertices are mutually connected with probability above a threshold
+  (Jin et al., KDD 2011 flavour),
+* :mod:`repro.analysis.reliability_search` — given source vertices, find
+  the vertices reachable from them with probability above a threshold, or
+  the top-k most reliably reachable vertices (Khan et al., EDBT 2014
+  flavour),
+* :mod:`repro.analysis.clustering` — k-median-style clustering of an
+  uncertain graph using reliability as the similarity (Ceccarello et al.,
+  PVLDB 2017 flavour).
+
+Every analysis accepts a configured estimator factory, so callers can
+choose between the paper's approach and the plain sampling baseline and
+observe the accuracy/efficiency difference end to end.
+"""
+
+from repro.analysis.clustering import ReliabilityClustering, cluster_uncertain_graph
+from repro.analysis.reliability_search import (
+    ReliabilitySearchResult,
+    reliability_search,
+    top_k_reliable_vertices,
+)
+from repro.analysis.reliable_subgraph import ReliableSubgraphResult, find_reliable_subgraph
+
+__all__ = [
+    "ReliabilityClustering",
+    "ReliabilitySearchResult",
+    "ReliableSubgraphResult",
+    "cluster_uncertain_graph",
+    "find_reliable_subgraph",
+    "reliability_search",
+    "top_k_reliable_vertices",
+]

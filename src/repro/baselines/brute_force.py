@@ -1,0 +1,69 @@
+"""Exact reliability by exhaustive enumeration of possible worlds.
+
+With ``|E|`` edges there are ``2^{|E|}`` possible worlds, so this is only
+usable on tiny graphs.  It is nevertheless invaluable as a ground-truth
+oracle: the test suite checks every other algorithm (exact BDD, S²BDD with
+and without preprocessing, the sampling baselines) against it on random
+small graphs.
+
+Two variants are provided: a float version and an exact
+:class:`fractions.Fraction` version whose arithmetic cannot round.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Sequence
+
+from repro.graph.connectivity import terminals_connected
+from repro.graph.possible_world import enumerate_possible_worlds
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.kahan import KahanSum
+
+__all__ = ["brute_force_reliability", "brute_force_reliability_exact"]
+
+Vertex = Hashable
+
+
+def brute_force_reliability(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    max_edges: int = 25,
+) -> float:
+    """Return the exact reliability as a float.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    terminals:
+        Terminal vertices; fewer than two distinct terminals give 1.0.
+    max_edges:
+        Safety cap on ``|E|`` before refusing to enumerate.
+    """
+    terminals = graph.validate_terminals(terminals)
+    if len(terminals) <= 1:
+        return 1.0
+    total = KahanSum()
+    for world, _ in enumerate_possible_worlds(graph, max_edges=max_edges):
+        if terminals_connected(graph, terminals, edge_ids=world.existing_edges):
+            total.add(world.probability)
+    return min(1.0, max(0.0, total.value))
+
+
+def brute_force_reliability_exact(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    max_edges: int = 25,
+) -> Fraction:
+    """Return the exact reliability as a :class:`fractions.Fraction`."""
+    terminals = graph.validate_terminals(terminals)
+    if len(terminals) <= 1:
+        return Fraction(1)
+    total = Fraction(0)
+    for world, exact_probability in enumerate_possible_worlds(graph, max_edges=max_edges):
+        if terminals_connected(graph, terminals, edge_ids=world.existing_edges):
+            total += exact_probability
+    return total

@@ -1,0 +1,135 @@
+"""The classic sampling baseline (``Sampling(MC)`` / ``Sampling(HT)``).
+
+This is the approach the paper improves on (Section 3.2.2): draw ``s``
+possible worlds according to the edge probabilities, check terminal
+connectivity in each, and aggregate with either the Monte Carlo or the
+Horvitz–Thompson estimator.  Its cost is ``O(s · (|V| + |E|))`` and its
+accuracy is limited by the variance ``R(1 − R)/s``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.core.estimators import EstimatorKind, horvitz_thompson_estimate
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import RandomLike, resolve_rng
+from repro.utils.union_find import UnionFind
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SamplingEstimator", "SamplingResult"]
+
+Vertex = Hashable
+
+
+@dataclass
+class SamplingResult:
+    """Outcome of one baseline sampling run."""
+
+    reliability: float
+    samples_used: int
+    positive_samples: int
+    estimator: EstimatorKind
+
+    @property
+    def positive_fraction(self) -> float:
+        """Fraction of sampled worlds in which the terminals were connected."""
+        if self.samples_used == 0:
+            return 0.0
+        return self.positive_samples / self.samples_used
+
+
+class SamplingEstimator:
+    """Plain possible-world sampling with MC or HT aggregation.
+
+    Parameters
+    ----------
+    samples:
+        Number of possible worlds to draw.
+    estimator:
+        ``"mc"`` (default) or ``"ht"``.
+    rng:
+        Seed or generator for reproducibility.
+
+    Example
+    -------
+    >>> from repro.graph.generators import cycle_graph
+    >>> estimator = SamplingEstimator(samples=2000, rng=7)
+    >>> result = estimator.estimate(cycle_graph(6, 0.9), [0, 3])
+    >>> 0.0 <= result.reliability <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        samples: int = 10_000,
+        *,
+        estimator: EstimatorKind = EstimatorKind.MONTE_CARLO,
+        rng: RandomLike = None,
+    ) -> None:
+        check_positive_int(samples, "samples")
+        self._samples = samples
+        self._estimator = EstimatorKind.coerce(estimator)
+        self._rng = resolve_rng(rng)
+
+    @property
+    def samples(self) -> int:
+        """The configured number of samples."""
+        return self._samples
+
+    def estimate(
+        self, graph: UncertainGraph, terminals: Sequence[Vertex]
+    ) -> SamplingResult:
+        """Estimate the reliability of ``graph`` for ``terminals``."""
+        terminals = graph.validate_terminals(terminals)
+        if len(terminals) <= 1:
+            return SamplingResult(1.0, 0, 0, self._estimator)
+
+        edges = list(graph.edges())
+        rng = self._rng
+        positive = 0
+        # For the HT estimator we record (world probability, indicator) per
+        # distinct sampled world; probabilities are tracked in log space and
+        # converted at the end so that large graphs do not underflow inside
+        # the inclusion-probability computation (which takes floats anyway,
+        # but benefits from exactly-zero handling).
+        distinct_worlds: Dict[FrozenSet[int], Tuple[float, bool]] = {}
+
+        for _ in range(self._samples):
+            union_find = UnionFind()
+            for terminal in terminals:
+                union_find.add(terminal)
+            existing: List[int] = []
+            log_probability = 0.0
+            for edge in edges:
+                exists = rng.random() < edge.probability
+                if exists:
+                    existing.append(edge.id)
+                    if edge.u != edge.v:
+                        union_find.union(edge.u, edge.v)
+                if self._estimator is EstimatorKind.HORVITZ_THOMPSON:
+                    chosen = edge.probability if exists else 1.0 - edge.probability
+                    log_probability += math.log(chosen) if chosen > 0.0 else float("-inf")
+            connected = union_find.same_component(terminals)
+            if connected:
+                positive += 1
+            if self._estimator is EstimatorKind.HORVITZ_THOMPSON:
+                key = frozenset(existing)
+                if key not in distinct_worlds:
+                    probability = math.exp(log_probability) if log_probability > -745.0 else 0.0
+                    distinct_worlds[key] = (probability, connected)
+
+        if self._estimator is EstimatorKind.MONTE_CARLO:
+            reliability = positive / self._samples
+        else:
+            reliability = horvitz_thompson_estimate(
+                distinct_worlds.values(), self._samples
+            )
+        return SamplingResult(
+            reliability=reliability,
+            samples_used=self._samples,
+            positive_samples=positive,
+            estimator=self._estimator,
+        )

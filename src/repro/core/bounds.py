@@ -1,0 +1,94 @@
+"""Reliability bounds derived from the S²BDD construction.
+
+During construction the S²BDD accumulates the probability mass ``p_c`` of
+intermediate graphs proven *connected* and ``p_d`` of those proven
+*disconnected*.  Section 4.2 of the paper shows ``p_c ≤ R ≤ 1 − p_d``;
+these bounds both reduce the number of samples (Theorems 1 and 2) and give
+callers a certified interval around the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import EstimatorError
+
+__all__ = ["ReliabilityBounds"]
+
+
+@dataclass(frozen=True)
+class ReliabilityBounds:
+    """Certified lower/upper bounds on the network reliability.
+
+    Attributes
+    ----------
+    connected_mass:
+        ``p_c`` — total probability of possible worlds proven connected.
+    disconnected_mass:
+        ``p_d`` — total probability of possible worlds proven disconnected.
+    """
+
+    connected_mass: float
+    disconnected_mass: float
+
+    def __post_init__(self) -> None:
+        p_c = self.connected_mass
+        p_d = self.disconnected_mass
+        if p_c < -1e-12 or p_d < -1e-12:
+            raise EstimatorError(
+                f"bound masses must be non-negative, got p_c={p_c}, p_d={p_d}"
+            )
+        if p_c + p_d > 1.0 + 1e-9:
+            raise EstimatorError(
+                f"bound masses must sum to at most 1, got p_c={p_c}, p_d={p_d}"
+            )
+
+    @property
+    def lower(self) -> float:
+        """Lower bound ``p_c`` on the reliability."""
+        return min(1.0, max(0.0, self.connected_mass))
+
+    @property
+    def upper(self) -> float:
+        """Upper bound ``1 − p_d`` on the reliability."""
+        return min(1.0, max(0.0, 1.0 - self.disconnected_mass))
+
+    @property
+    def unresolved_mass(self) -> float:
+        """Probability mass not yet proven connected or disconnected."""
+        return max(0.0, 1.0 - self.connected_mass - self.disconnected_mass)
+
+    @property
+    def width(self) -> float:
+        """Width of the bound interval ``upper − lower``."""
+        return max(0.0, self.upper - self.lower)
+
+    def is_exact(self, tolerance: float = 1e-12) -> bool:
+        """Return ``True`` when the bounds pin the reliability exactly."""
+        return self.width <= tolerance
+
+    def clamp(self, value: float) -> float:
+        """Clamp an estimate into the certified interval."""
+        return min(self.upper, max(self.lower, value))
+
+    def combine(self, other: "ReliabilityBounds") -> "ReliabilityBounds":
+        """Combine bounds of independent subproblems (product form).
+
+        For a decomposition ``R = R_1 · R_2`` of independent factors the
+        interval product gives valid bounds on the product.
+        """
+        lower = self.lower * other.lower
+        upper = self.upper * other.upper
+        return ReliabilityBounds(
+            connected_mass=lower, disconnected_mass=max(0.0, 1.0 - upper)
+        )
+
+    def scaled(self, factor: float) -> "ReliabilityBounds":
+        """Scale the bounds by a deterministic factor in ``[0, 1]``."""
+        if not 0.0 <= factor <= 1.0:
+            raise EstimatorError(f"scale factor must be in [0, 1], got {factor}")
+        lower = self.lower * factor
+        upper = self.upper * factor
+        return ReliabilityBounds(
+            connected_mass=lower, disconnected_mass=max(0.0, 1.0 - upper)
+        )

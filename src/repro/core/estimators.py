@@ -1,0 +1,134 @@
+"""Monte Carlo and Horvitz–Thompson reliability estimators.
+
+Both the plain sampling baseline and the S²BDD approach aggregate sampled
+possible worlds into a reliability estimate with one of two estimators
+(Section 4.2 of the paper):
+
+* the **Monte Carlo estimator** is the sample mean of the connectivity
+  indicator,
+* the **Horvitz–Thompson estimator** weights each *distinct* sampled world
+  by the inverse of its inclusion probability ``π_i = 1 − (1 − Pr[G_i])^s``,
+  which has lower variance under sampling without replacement.
+
+The functions here are intentionally estimator-only: they receive the
+indicator values (and, for HT, world probabilities) and know nothing about
+graphs, so the same code serves the baseline sampler, the S²BDD strata and
+the analysis applications.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, EstimatorError
+
+__all__ = [
+    "EstimatorKind",
+    "horvitz_thompson_estimate",
+    "inclusion_probability",
+    "monte_carlo_estimate",
+]
+
+
+class EstimatorKind(str, enum.Enum):
+    """Which estimator to aggregate samples with."""
+
+    MONTE_CARLO = "mc"
+    HORVITZ_THOMPSON = "ht"
+
+    @classmethod
+    def coerce(cls, value: "EstimatorKind | str") -> "EstimatorKind":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise ConfigurationError(
+                f"unknown estimator {value!r}; expected one of: {valid}"
+            ) from exc
+
+
+def monte_carlo_estimate(indicators: Sequence[bool]) -> float:
+    """Return the Monte Carlo estimate: the mean of the indicator values.
+
+    Raises :class:`EstimatorError` on an empty sample, because the caller
+    must decide what "no samples" means (usually: the bounds were exact and
+    no sampling was necessary).
+    """
+    if len(indicators) == 0:
+        raise EstimatorError("cannot form a Monte Carlo estimate from zero samples")
+    return sum(1.0 for indicator in indicators if indicator) / len(indicators)
+
+
+def inclusion_probability(world_probability: float, samples: int) -> float:
+    """Return ``π = 1 − (1 − p)^s`` computed stably for tiny ``p``.
+
+    Uses ``log1p``/``expm1`` so that worlds with probability far below the
+    float epsilon still receive a sensible inclusion probability
+    (approximately ``s · p``).
+    """
+    if samples <= 0:
+        raise ConfigurationError("samples must be positive for inclusion probabilities")
+    if world_probability <= 0.0:
+        return 0.0
+    if world_probability >= 1.0:
+        return 1.0
+    return -math.expm1(samples * math.log1p(-world_probability))
+
+
+def horvitz_thompson_estimate(
+    worlds: Iterable[Tuple[float, bool]],
+    samples: int,
+    *,
+    deduplicate_keys: Iterable[object] = (),
+) -> float:
+    """Return the Horvitz–Thompson estimate over sampled worlds.
+
+    Parameters
+    ----------
+    worlds:
+        Iterable of ``(world_probability, connected_indicator)`` pairs, one
+        per *distinct* sampled world.  The caller is responsible for
+        de-duplication (HT counts each distinct world once); the helper
+        below supports that via ``deduplicate_keys``.
+    samples:
+        The number of draws ``s`` used in the inclusion probability.
+    deduplicate_keys:
+        Optional parallel iterable of hashable keys identifying the worlds;
+        when provided, repeated keys are collapsed to a single contribution.
+
+    Notes
+    -----
+    The estimate is clamped to ``[0, 1]``: the HT estimator is unbiased but
+    not range-preserving, and a reliability outside the unit interval is
+    meaningless to report.
+    """
+    keys = list(deduplicate_keys)
+    pairs: List[Tuple[float, bool]] = list(worlds)
+    if keys:
+        if len(keys) != len(pairs):
+            raise EstimatorError("deduplicate_keys must match the number of worlds")
+        seen = set()
+        unique: List[Tuple[float, bool]] = []
+        for key, pair in zip(keys, pairs):
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(pair)
+        pairs = unique
+    if not pairs:
+        raise EstimatorError("cannot form a Horvitz–Thompson estimate from zero samples")
+
+    total = 0.0
+    for world_probability, connected in pairs:
+        if not connected:
+            continue
+        pi = inclusion_probability(world_probability, samples)
+        if pi <= 0.0:
+            continue
+        total += world_probability / pi
+    return min(1.0, max(0.0, total))

@@ -1,0 +1,267 @@
+"""Edge orderings and frontier bookkeeping for frontier-based BDDs.
+
+The frontier-based construction (Section 3.2.1) processes the edges in a
+fixed order ``e_1, ..., e_|E|``.  At layer ``l`` the *frontier* ``F_l`` is
+the set of vertices incident both to an already-processed edge and to a
+still-unprocessed edge; only frontier vertices need per-node state, which is
+what keeps the diagram small.
+
+The quality of the edge order determines the frontier width, and therefore
+both the exactness horizon of the S²BDD and how quickly its bounds tighten.
+This module provides several ordering strategies and precomputes, for a
+chosen order, everything the construction needs per layer: which vertices
+enter the frontier, which vertices leave it, and the frontier itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graph.uncertain_graph import Edge, UncertainGraph
+from repro.utils.rng import RandomLike, resolve_rng
+
+__all__ = ["EdgeOrdering", "FrontierPlan", "order_edges", "build_frontier_plan"]
+
+Vertex = Hashable
+
+
+class EdgeOrdering(str, enum.Enum):
+    """Available edge-ordering strategies.
+
+    * ``INPUT`` — the order edges were added to the graph.
+    * ``BFS`` — breadth-first from a terminal (default); keeps the frontier
+      compact on road-like and planar-like graphs, which is where the paper
+      reports the S²BDD working best.
+    * ``DFS`` — depth-first from a terminal; good on long path-like graphs.
+    * ``DEGREE`` — vertices visited in decreasing degree, edges grouped per
+      vertex; a cheap heuristic for dense graphs.
+    * ``RANDOM`` — a random permutation (ablation baseline).
+    """
+
+    INPUT = "input"
+    BFS = "bfs"
+    DFS = "dfs"
+    DEGREE = "degree"
+    RANDOM = "random"
+
+
+@dataclass
+class FrontierPlan:
+    """Precomputed frontier structure for one edge order.
+
+    Attributes
+    ----------
+    edges:
+        The edges in processing order.
+    frontiers:
+        ``frontiers[l]`` is the frontier *after* processing the first ``l``
+        edges (so ``frontiers[0]`` is empty and ``frontiers[|E|]`` is empty
+        again), stored as a sorted tuple for deterministic state keys.
+    entering:
+        ``entering[l]`` lists the vertices that join the frontier when edge
+        ``l`` (0-based) is processed.
+    leaving:
+        ``leaving[l]`` lists the vertices whose last incident edge is edge
+        ``l``; they retire from the frontier right after it is processed.
+    uncertain_degree:
+        ``uncertain_degree[l][v]`` is the number of still-unprocessed edges
+        incident to frontier vertex ``v`` after processing edge ``l``; this
+        is the ``d`` attribute used by the deletion heuristic (Eq. 10).
+    first_occurrence / last_occurrence:
+        Per vertex, the index of the first/last incident edge in the order.
+        Vertices with no incident edge do not appear.
+    """
+
+    edges: Tuple[Edge, ...]
+    frontiers: Tuple[Tuple[Vertex, ...], ...]
+    entering: Tuple[Tuple[Vertex, ...], ...]
+    leaving: Tuple[Tuple[Vertex, ...], ...]
+    uncertain_degree: Tuple[Dict[Vertex, int], ...]
+    first_occurrence: Dict[Vertex, int]
+    last_occurrence: Dict[Vertex, int]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the plan."""
+        return len(self.edges)
+
+    def max_frontier_size(self) -> int:
+        """Return the largest frontier size over all layers."""
+        return max((len(front) for front in self.frontiers), default=0)
+
+    def unseen_terminal_count(
+        self, terminals: Sequence[Vertex], layer: int
+    ) -> int:
+        """Number of terminals whose first incident edge comes at or after ``layer``.
+
+        ``layer`` counts processed edges, i.e. ``layer == l`` means edges
+        ``0 .. l-1`` have been processed.
+        """
+        count = 0
+        for terminal in terminals:
+            first = self.first_occurrence.get(terminal)
+            if first is None or first >= layer:
+                count += 1
+        return count
+
+
+def order_edges(
+    graph: UncertainGraph,
+    *,
+    strategy: EdgeOrdering = EdgeOrdering.BFS,
+    terminals: Sequence[Vertex] = (),
+    rng: RandomLike = None,
+) -> List[Edge]:
+    """Return the edges of ``graph`` in the chosen processing order."""
+    strategy = EdgeOrdering(strategy)
+    edges = list(graph.edges())
+    if strategy is EdgeOrdering.INPUT:
+        return edges
+    if strategy is EdgeOrdering.RANDOM:
+        generator = resolve_rng(rng)
+        shuffled = list(edges)
+        generator.shuffle(shuffled)
+        return shuffled
+    if strategy is EdgeOrdering.DEGREE:
+        return _degree_order(graph)
+    return _traversal_order(graph, terminals, depth_first=(strategy is EdgeOrdering.DFS))
+
+
+def build_frontier_plan(
+    graph: UncertainGraph,
+    *,
+    strategy: EdgeOrdering = EdgeOrdering.BFS,
+    terminals: Sequence[Vertex] = (),
+    rng: RandomLike = None,
+    edges: Optional[Sequence[Edge]] = None,
+) -> FrontierPlan:
+    """Order the edges and precompute the per-layer frontier structure.
+
+    ``edges`` can be supplied directly (already ordered) to bypass the
+    strategy, which the ablation benchmarks use.
+    """
+    if edges is None:
+        ordered = order_edges(graph, strategy=strategy, terminals=terminals, rng=rng)
+    else:
+        ordered = list(edges)
+        if len(ordered) != graph.num_edges:
+            raise ConfigurationError(
+                "an explicit edge order must contain every edge exactly once"
+            )
+
+    first: Dict[Vertex, int] = {}
+    last: Dict[Vertex, int] = {}
+    for index, edge in enumerate(ordered):
+        for vertex in (edge.u, edge.v):
+            first.setdefault(vertex, index)
+            last[vertex] = index
+
+    num_edges = len(ordered)
+    frontiers: List[Tuple[Vertex, ...]] = [()] * (num_edges + 1)
+    entering: List[Tuple[Vertex, ...]] = [()] * num_edges
+    leaving: List[Tuple[Vertex, ...]] = [()] * num_edges
+    uncertain_degree: List[Dict[Vertex, int]] = [dict() for _ in range(num_edges + 1)]
+
+    active: Set[Vertex] = set()
+    remaining: Dict[Vertex, int] = {}
+    for edge in ordered:
+        remaining[edge.u] = remaining.get(edge.u, 0) + 1
+        if edge.u != edge.v:
+            remaining[edge.v] = remaining.get(edge.v, 0) + 1
+
+    for index, edge in enumerate(ordered):
+        enter = tuple(
+            vertex
+            for vertex in dict.fromkeys((edge.u, edge.v))
+            if first[vertex] == index
+        )
+        entering[index] = enter
+        active.update(enter)
+        remaining[edge.u] -= 1
+        if edge.u != edge.v:
+            remaining[edge.v] -= 1
+        leave = tuple(
+            vertex
+            for vertex in dict.fromkeys((edge.u, edge.v))
+            if last[vertex] == index
+        )
+        leaving[index] = leave
+        active.difference_update(leave)
+        frontiers[index + 1] = tuple(sorted(active, key=repr))
+        uncertain_degree[index + 1] = {
+            vertex: remaining[vertex] for vertex in frontiers[index + 1]
+        }
+
+    return FrontierPlan(
+        edges=tuple(ordered),
+        frontiers=tuple(frontiers),
+        entering=tuple(entering),
+        leaving=tuple(leaving),
+        uncertain_degree=tuple(uncertain_degree),
+        first_occurrence=first,
+        last_occurrence=last,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ordering strategies
+# ----------------------------------------------------------------------
+def _traversal_order(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    depth_first: bool,
+) -> List[Edge]:
+    """Vertex-incremental edge order driven by a BFS/DFS vertex traversal.
+
+    Vertices are numbered by a BFS (or DFS) from a terminal; an edge is then
+    processed when its *later* endpoint is introduced, i.e. edges are sorted
+    by ``(max(rank(u), rank(v)), min(rank(u), rank(v)))``.  With this order
+    a vertex stays on the frontier only while it still has edges to
+    higher-ranked vertices, so the maximum frontier size equals the vertex
+    separation number of the traversal order — dramatically smaller than a
+    naive edge-BFS on dense graphs (e.g. 8 instead of ~16 on the karate
+    club), which is what makes the exact BDD and tight S²BDD bounds
+    feasible there.
+    """
+    rank: Dict[Vertex, int] = {}
+    start_candidates = list(terminals) + sorted(graph.vertices(), key=repr)
+    for start in start_candidates:
+        if start in rank or not graph.has_vertex(start):
+            continue
+        queue: List[Vertex] = [start]
+        rank[start] = len(rank)
+        while queue:
+            vertex = queue.pop() if depth_first else queue.pop(0)
+            for neighbor in sorted(set(graph.neighbors(vertex)), key=repr):
+                if neighbor not in rank:
+                    rank[neighbor] = len(rank)
+                    queue.append(neighbor)
+    # Isolated vertices never appear in an edge, but rank them anyway so the
+    # sort key below is total.
+    for vertex in graph.vertices():
+        rank.setdefault(vertex, len(rank))
+
+    def sort_key(edge: Edge) -> Tuple[int, int, int]:
+        first, second = rank[edge.u], rank[edge.v]
+        if first < second:
+            first, second = second, first
+        return (first, second, edge.id)
+
+    return sorted(graph.edges(), key=sort_key)
+
+
+def _degree_order(graph: UncertainGraph) -> List[Edge]:
+    """Order edges by visiting vertices in decreasing degree."""
+    ordered: List[Edge] = []
+    seen: Set[int] = set()
+    by_degree = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), repr(v)))
+    for vertex in by_degree:
+        for edge in sorted(graph.incident_edges(vertex), key=lambda e: e.id):
+            if edge.id not in seen:
+                seen.add(edge.id)
+                ordered.append(edge)
+    return ordered

@@ -1,0 +1,354 @@
+"""Public reliability-estimation API.
+
+:class:`ReliabilityEstimator` is the main entry point of the library: it
+wires together the extension technique (prune / decompose / transform), the
+S²BDD with its stratified sampling, and the Theorem-1 sample reduction, and
+returns a :class:`ReliabilityResult` with the estimate, certified bounds
+and per-run statistics.
+
+Convenience functions:
+
+* :func:`estimate_reliability` — one-shot estimation with default settings,
+* :func:`exact_reliability` — exact answer via the full BDD (or brute force
+  on tiny graphs), for when the graph is small enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence
+
+from repro.core.bounds import ReliabilityBounds
+from repro.core.estimators import EstimatorKind
+from repro.core.frontier import EdgeOrdering
+from repro.core.s2bdd import S2BDD, S2BDDResult
+from repro.core.stratified import reduced_sample_count
+from repro.exceptions import ConfigurationError
+from repro.graph.components import GraphDecomposition
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.preprocess.pipeline import PreprocessResult, preprocess
+from repro.utils.rng import RandomLike, resolve_rng, spawn_rng
+from repro.utils.timers import Timer
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ReliabilityEstimator",
+    "ReliabilityResult",
+    "estimate_reliability",
+    "exact_reliability",
+]
+
+Vertex = Hashable
+
+
+@dataclass
+class ReliabilityResult:
+    """Result of one reliability estimation.
+
+    Attributes
+    ----------
+    reliability:
+        The estimated (or exact) network reliability ``R̂[G, T]``.
+    lower_bound / upper_bound:
+        Certified interval containing the true reliability.
+    exact:
+        ``True`` when the returned value is exact (bounds width zero), which
+        happens whenever every subproblem's S²BDD fit inside its width cap.
+    samples_requested:
+        The caller's sample budget ``s``.
+    samples_used:
+        Total samples actually drawn across all subproblems (``Σ s'_i``).
+    elapsed_seconds / preprocess_seconds:
+        Total and preprocessing-only wall-clock time.
+    bridge_probability:
+        The deterministic factor ``p_b`` contributed by bridges (1.0 when
+        the extension is disabled).
+    num_subproblems:
+        Number of stochastic subproblems evaluated after decomposition.
+    subresults:
+        Per-subproblem :class:`~repro.core.s2bdd.S2BDDResult` objects.
+    preprocess_result:
+        The :class:`~repro.preprocess.pipeline.PreprocessResult`, when the
+        extension technique ran.
+    """
+
+    reliability: float
+    lower_bound: float
+    upper_bound: float
+    exact: bool
+    samples_requested: int
+    samples_used: int
+    elapsed_seconds: float
+    preprocess_seconds: float
+    bridge_probability: float
+    num_subproblems: int
+    estimator: EstimatorKind
+    used_extension: bool
+    subresults: List[S2BDDResult] = field(default_factory=list)
+    preprocess_result: Optional[PreprocessResult] = None
+
+    @property
+    def bounds(self) -> ReliabilityBounds:
+        """The certified bounds as a :class:`ReliabilityBounds` object."""
+        return ReliabilityBounds(self.lower_bound, max(0.0, 1.0 - self.upper_bound))
+
+    @property
+    def bound_width(self) -> float:
+        """Width of the certified interval."""
+        return max(0.0, self.upper_bound - self.lower_bound)
+
+    @property
+    def sample_reduction_rate(self) -> float:
+        """``samples_used / samples_requested`` (1.0 when nothing was requested)."""
+        if self.samples_requested == 0:
+            return 1.0
+        return self.samples_used / self.samples_requested
+
+
+class ReliabilityEstimator:
+    """The paper's approach: extension technique + S²BDD + stratified sampling.
+
+    Parameters
+    ----------
+    samples:
+        Sample budget ``s`` (per subproblem; the stratified reduction of
+        Theorem 1 typically uses far fewer).
+    max_width:
+        S²BDD width cap ``w``.
+    estimator:
+        ``"mc"`` (Monte Carlo, default) or ``"ht"`` (Horvitz–Thompson).
+    use_extension:
+        Whether to run the prune/decompose/transform preprocessing.
+    edge_ordering:
+        Edge-ordering strategy for the frontier construction.
+    stratum_mass_cutoff:
+        Construction early-exit threshold forwarded to
+        :class:`~repro.core.s2bdd.S2BDD` (1.0 disables it).
+    rng:
+        Seed or generator for reproducible runs.
+
+    Example
+    -------
+    >>> from repro.graph.generators import road_network_graph
+    >>> graph = road_network_graph(6, 6, rng=1)
+    >>> estimator = ReliabilityEstimator(samples=2000, max_width=512, rng=1)
+    >>> result = estimator.estimate(graph, terminals=[0, 14, 35])
+    >>> 0.0 <= result.reliability <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        samples: int = 10_000,
+        *,
+        max_width: int = 10_000,
+        estimator: EstimatorKind = EstimatorKind.MONTE_CARLO,
+        use_extension: bool = True,
+        edge_ordering: EdgeOrdering = EdgeOrdering.BFS,
+        stratum_mass_cutoff: float = 0.5,
+        rng: RandomLike = None,
+    ) -> None:
+        check_positive_int(samples, "samples")
+        check_positive_int(max_width, "max_width")
+        self._samples = samples
+        self._max_width = max_width
+        self._estimator = EstimatorKind.coerce(estimator)
+        self._use_extension = use_extension
+        self._edge_ordering = EdgeOrdering(edge_ordering)
+        self._stratum_mass_cutoff = stratum_mass_cutoff
+        self._rng = resolve_rng(rng)
+
+    # ------------------------------------------------------------------
+    # Configuration accessors (used by the experiment harness)
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Configured sample budget ``s``."""
+        return self._samples
+
+    @property
+    def max_width(self) -> int:
+        """Configured S²BDD width cap ``w``."""
+        return self._max_width
+
+    @property
+    def estimator(self) -> EstimatorKind:
+        """Configured estimator kind."""
+        return self._estimator
+
+    @property
+    def uses_extension(self) -> bool:
+        """Whether the extension technique is enabled."""
+        return self._use_extension
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        graph: UncertainGraph,
+        terminals: Sequence[Vertex],
+        *,
+        decomposition: Optional[GraphDecomposition] = None,
+    ) -> ReliabilityResult:
+        """Estimate ``R[G, T]`` for ``graph`` and ``terminals``.
+
+        ``decomposition`` may carry a precomputed 2-edge-connected
+        decomposition of ``graph`` (the paper's precomputed index) to avoid
+        recomputing it for every query.
+        """
+        timer = Timer().start()
+        terminals = graph.validate_terminals(terminals)
+
+        if len(terminals) <= 1:
+            return self._trivial_result(1.0, timer.stop())
+
+        if self._use_extension:
+            prep = preprocess(graph, terminals, decomposition=decomposition)
+            deterministic = prep.deterministic_reliability()
+            if deterministic is not None:
+                return self._trivial_result(
+                    deterministic,
+                    timer.stop(),
+                    preprocess_seconds=prep.elapsed_seconds,
+                    bridge_probability=prep.bridge_probability,
+                    preprocess_result=prep,
+                )
+            subproblems = [(sub.graph, sub.terminals) for sub in prep.subproblems]
+            bridge_probability = prep.bridge_probability
+            preprocess_seconds = prep.elapsed_seconds
+            preprocess_result: Optional[PreprocessResult] = prep
+        else:
+            subproblems = [(graph, terminals)]
+            bridge_probability = 1.0
+            preprocess_seconds = 0.0
+            preprocess_result = None
+
+        reliability = bridge_probability
+        bounds = ReliabilityBounds(1.0, 0.0)
+        samples_used = 0
+        subresults: List[S2BDDResult] = []
+        all_exact = True
+
+        for index, (subgraph, subterminals) in enumerate(subproblems):
+            sub_rng = spawn_rng(self._rng, f"subproblem-{index}")
+            bdd = S2BDD(
+                subgraph,
+                subterminals,
+                max_width=self._max_width,
+                edge_ordering=self._edge_ordering,
+                stratum_mass_cutoff=self._stratum_mass_cutoff,
+                rng=sub_rng,
+            )
+            result = bdd.run(self._samples, estimator=self._estimator)
+            subresults.append(result)
+            reliability *= result.reliability
+            bounds = bounds.combine(result.bounds)
+            samples_used += result.samples_used
+            all_exact &= result.exact
+
+        bounds = bounds.scaled(bridge_probability)
+        # Guard against one-ulp inversions introduced by the independent
+        # floating-point roundings of the lower and upper products.
+        lower_bound = min(bounds.lower, bounds.upper)
+        upper_bound = max(bounds.lower, bounds.upper)
+        reliability = min(upper_bound, max(lower_bound, reliability))
+
+        return ReliabilityResult(
+            reliability=reliability,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+            exact=all_exact,
+            samples_requested=self._samples,
+            samples_used=samples_used,
+            elapsed_seconds=timer.stop(),
+            preprocess_seconds=preprocess_seconds,
+            bridge_probability=bridge_probability,
+            num_subproblems=len(subproblems),
+            estimator=self._estimator,
+            used_extension=self._use_extension,
+            subresults=subresults,
+            preprocess_result=preprocess_result,
+        )
+
+    def _trivial_result(
+        self,
+        reliability: float,
+        elapsed: float,
+        *,
+        preprocess_seconds: float = 0.0,
+        bridge_probability: float = 1.0,
+        preprocess_result: Optional[PreprocessResult] = None,
+    ) -> ReliabilityResult:
+        return ReliabilityResult(
+            reliability=reliability,
+            lower_bound=reliability,
+            upper_bound=reliability,
+            exact=True,
+            samples_requested=self._samples,
+            samples_used=0,
+            elapsed_seconds=elapsed,
+            preprocess_seconds=preprocess_seconds,
+            bridge_probability=bridge_probability,
+            num_subproblems=0,
+            estimator=self._estimator,
+            used_extension=self._use_extension,
+            subresults=[],
+            preprocess_result=preprocess_result,
+        )
+
+
+def estimate_reliability(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    samples: int = 10_000,
+    max_width: int = 10_000,
+    estimator: EstimatorKind = EstimatorKind.MONTE_CARLO,
+    use_extension: bool = True,
+    edge_ordering: EdgeOrdering = EdgeOrdering.BFS,
+    stratum_mass_cutoff: float = 0.5,
+    rng: RandomLike = None,
+) -> ReliabilityResult:
+    """One-shot convenience wrapper around :class:`ReliabilityEstimator`."""
+    return ReliabilityEstimator(
+        samples=samples,
+        max_width=max_width,
+        estimator=estimator,
+        use_extension=use_extension,
+        edge_ordering=edge_ordering,
+        stratum_mass_cutoff=stratum_mass_cutoff,
+        rng=rng,
+    ).estimate(graph, terminals)
+
+
+def exact_reliability(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    method: str = "bdd",
+    max_nodes: int = 2_000_000,
+) -> float:
+    """Compute the exact reliability on a small graph.
+
+    Parameters
+    ----------
+    method:
+        ``"bdd"`` (default) uses the exact frontier BDD, which handles
+        graphs with up to a few hundred edges when the frontier stays small;
+        ``"brute"`` enumerates all possible worlds and is limited to ~25
+        edges but is immune to frontier blow-up.
+    max_nodes:
+        Node budget for the BDD method.
+    """
+    # Imported lazily: the baselines package imports the core frontier
+    # machinery, so importing it at module load time would be circular.
+    from repro.baselines.brute_force import brute_force_reliability
+    from repro.baselines.exact_bdd import ExactBDD
+
+    terminals = graph.validate_terminals(terminals)
+    if method == "brute":
+        return brute_force_reliability(graph, terminals)
+    if method == "bdd":
+        return ExactBDD(graph, terminals, max_nodes=max_nodes).run().reliability
+    raise ConfigurationError(f"unknown exact method {method!r}; use 'bdd' or 'brute'")

@@ -1,0 +1,550 @@
+"""The scalable-and-sampling BDD (S²BDD).
+
+This is the paper's central data structure (Section 4.3).  Unlike an
+ordinary BDD, the S²BDD
+
+* keeps only a single layer of nodes plus the two sinks (earlier layers are
+  never needed again),
+* classifies intermediate graphs as connected / disconnected as early as
+  possible (Lemmas 4.1 and 4.2), accumulating the bound masses ``p_c`` and
+  ``p_d`` on the sinks,
+* caps the layer width at ``w``; when a layer would exceed the cap, the
+  lowest-priority nodes (heuristic ``h(n)``, Eq. 10) are *deleted* and
+  turned into **sampling strata**, and
+* finally samples completions of the strata — i.e. possible worlds that are
+  *not* already covered by the bounds — which is exactly the requirement of
+  the stratified estimator.
+
+The resulting estimate is ``R̂ = p_c + Σ_j p_j · R̂_j`` where ``j`` ranges
+over strata and ``R̂_j`` estimates the conditional reliability of stratum
+``j``.  When the width cap is never hit, there are no strata and the result
+is the exact reliability (the paper's "our approach computes the exact
+answer for small-scale graphs").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bounds import ReliabilityBounds
+from repro.core.estimators import EstimatorKind
+from repro.core.frontier import EdgeOrdering, FrontierPlan, build_frontier_plan
+from repro.core.state import CONNECTED, DISCONNECTED, LIVE, NodeState, TransitionTable
+from repro.core.stratified import reduced_sample_count
+from repro.exceptions import ConfigurationError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.kahan import KahanSum
+from repro.utils.rng import RandomLike, resolve_rng
+from repro.utils.union_find import UnionFind
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["S2BDD", "S2BDDResult", "Stratum"]
+
+Vertex = Hashable
+
+#: Unresolved probability mass below which the result is treated as exact.
+_EXACT_MASS_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """A deleted S²BDD node, i.e. one sampling subgroup.
+
+    Attributes
+    ----------
+    layer:
+        Number of edges already decided; the state refers to the frontier
+        after that many edges.
+    partition / terminal_counts:
+        The node's frontier state (see :class:`repro.core.state.NodeState`).
+    probability:
+        Probability mass of the intermediate graph (``p_n``).
+    """
+
+    layer: int
+    partition: Tuple[int, ...]
+    terminal_counts: Tuple[int, ...]
+    probability: float
+
+    @property
+    def state(self) -> NodeState:
+        """The stratum's frontier state as a :class:`NodeState`."""
+        return NodeState(self.partition, self.terminal_counts)
+
+
+@dataclass
+class S2BDDResult:
+    """Outcome of one S²BDD reliability estimation."""
+
+    reliability: float
+    bounds: ReliabilityBounds
+    samples_requested: int
+    samples_reduced: int
+    samples_used: int
+    num_strata: int
+    exact: bool
+    peak_width: int
+    layers_processed: int
+    deleted_probability_mass: float
+    estimator: EstimatorKind
+
+    @property
+    def lower_bound(self) -> float:
+        """Certified lower bound ``p_c``."""
+        return self.bounds.lower
+
+    @property
+    def upper_bound(self) -> float:
+        """Certified upper bound ``1 − p_d``."""
+        return self.bounds.upper
+
+
+class S2BDD:
+    """Scalable-and-sampling BDD estimator for one graph and terminal set.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    terminals:
+        The terminal vertices whose mutual connectivity is measured.
+    max_width:
+        Width cap ``w``: the maximum number of nodes kept per layer.
+    edge_ordering:
+        Strategy used to order edges for the frontier construction.
+    stratum_mass_cutoff:
+        Early-exit threshold in ``(0, 1]`` mirroring Algorithm 2's lines
+        26–32: once the probability mass already delegated to sampling
+        strata exceeds this fraction of the unresolved mass, further
+        construction can barely tighten the bounds (most of the unresolved
+        worlds will be sampled regardless), so the surviving layer is
+        converted to strata and construction stops.  This keeps the
+        approach competitive on dense graphs where the bounds do not
+        tighten; set to 1.0 to disable.
+    use_priority:
+        Whether to order parent nodes by the heuristic ``h(n)`` before
+        generating children, so that high-priority nodes survive the width
+        cap (the paper's deleting procedure).  Disabling it keeps nodes in
+        arrival order; used by the ablation benchmarks.
+    rng:
+        Seed / generator for the sampling procedure.
+
+    Example
+    -------
+    >>> from repro.graph.generators import cycle_graph
+    >>> bdd = S2BDD(cycle_graph(5, 0.9), terminals=[0, 2])
+    >>> result = bdd.run(samples=1000)
+    >>> result.exact  # a 5-cycle is far below any width cap
+    True
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        terminals: Sequence[Vertex],
+        *,
+        max_width: int = 10_000,
+        edge_ordering: EdgeOrdering = EdgeOrdering.BFS,
+        stratum_mass_cutoff: float = 0.5,
+        use_priority: bool = True,
+        rng: RandomLike = None,
+    ) -> None:
+        check_positive_int(max_width, "max_width")
+        if not 0.0 < stratum_mass_cutoff <= 1.0:
+            raise ConfigurationError(
+                f"stratum_mass_cutoff must lie in (0, 1], got {stratum_mass_cutoff}"
+            )
+        self._graph = graph
+        self._terminals = graph.validate_terminals(terminals)
+        self._k = len(self._terminals)
+        self._max_width = max_width
+        self._stratum_mass_cutoff = stratum_mass_cutoff
+        self._use_priority = use_priority
+        self._rng = resolve_rng(rng)
+        self._plan: FrontierPlan = build_frontier_plan(
+            graph,
+            strategy=EdgeOrdering(edge_ordering),
+            terminals=self._terminals,
+            rng=self._rng,
+        )
+        self._transitions = TransitionTable(self._plan, self._terminals)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> FrontierPlan:
+        """The frontier plan (edge order and per-layer frontiers) in use."""
+        return self._plan
+
+    def run(
+        self,
+        samples: int,
+        *,
+        estimator: EstimatorKind = EstimatorKind.MONTE_CARLO,
+    ) -> S2BDDResult:
+        """Estimate the reliability with a budget of ``samples`` samples.
+
+        The budget is first reduced to ``s'`` according to Theorem 1 / 2
+        using the bounds found during construction; only ``s'`` completions
+        are then sampled from the strata.
+        """
+        check_non_negative_int(samples, "samples")
+        estimator = EstimatorKind.coerce(estimator)
+
+        construction = self._construct(samples=samples)
+        bounds = construction.bounds
+        strata = construction.strata
+
+        samples_reduced = reduced_sample_count(
+            samples, bounds.connected_mass, bounds.disconnected_mass
+        )
+
+        unresolved = sum(stratum.probability for stratum in strata)
+        if not strata or unresolved <= _EXACT_MASS_TOLERANCE:
+            reliability = bounds.clamp(bounds.connected_mass)
+            return S2BDDResult(
+                reliability=reliability,
+                bounds=bounds,
+                samples_requested=samples,
+                samples_reduced=samples_reduced,
+                samples_used=0,
+                num_strata=len(strata),
+                exact=True,
+                peak_width=construction.peak_width,
+                layers_processed=construction.layers_processed,
+                deleted_probability_mass=construction.deleted_mass,
+                estimator=estimator,
+            )
+
+        samples_used = max(1, samples_reduced)
+        reliability = self._sample_strata(
+            strata, unresolved, bounds, samples_used, estimator
+        )
+        return S2BDDResult(
+            reliability=bounds.clamp(reliability),
+            bounds=bounds,
+            samples_requested=samples,
+            samples_reduced=samples_reduced,
+            samples_used=samples_used,
+            num_strata=len(strata),
+            exact=False,
+            peak_width=construction.peak_width,
+            layers_processed=construction.layers_processed,
+            deleted_probability_mass=construction.deleted_mass,
+            estimator=estimator,
+        )
+
+    def compute_bounds(self) -> ReliabilityBounds:
+        """Construct the diagram and return only the certified bounds."""
+        return self._construct(samples=0).bounds
+
+    # ------------------------------------------------------------------
+    # Construction (generating / merging / deleting procedures)
+    # ------------------------------------------------------------------
+    @dataclass
+    class _Construction:
+        bounds: ReliabilityBounds
+        strata: List[Stratum]
+        peak_width: int
+        layers_processed: int
+        deleted_mass: float
+
+    def _construct(self, *, samples: int = 0) -> "S2BDD._Construction":
+        """Build the S²BDD layer by layer.
+
+        ``samples`` (the caller's budget ``s``) enables the early
+        termination of Algorithm 2 (lines 26–32): once the unresolved
+        probability mass is so small that the stratified budget would not
+        allocate even a single sample to it, the remaining construction
+        cannot change the estimate, so the surviving nodes are converted to
+        strata and construction stops.  Pass 0 to disable (bounds-only
+        runs).
+        """
+        plan = self._plan
+        transitions = self._transitions
+        k = self._k
+        max_width = self._max_width
+
+        if k <= 1:
+            return S2BDD._Construction(ReliabilityBounds(1.0, 0.0), [], 0, 0, 0.0)
+        if plan.num_edges == 0:
+            # Two or more terminals but no edges: never connected.
+            return S2BDD._Construction(ReliabilityBounds(0.0, 1.0), [], 0, 0, 0.0)
+
+        connected_mass = KahanSum()
+        disconnected_mass = KahanSum()
+        strata: List[Stratum] = []
+        deleted_mass = KahanSum()
+
+        # A layer is a dict keyed by the Lemma-4.3 merge key; values are
+        # [partition, counts, probability] (counts kept for the heuristic).
+        current: Dict[Tuple, List] = {((), ()): [(), (), 1.0]}
+        peak_width = 1
+        layers_processed = 0
+
+        for layer_index in range(plan.num_edges):
+            if not current:
+                break
+            layers_processed = layer_index + 1
+            edge = plan.edges[layer_index]
+            probability_exist = edge.probability
+            probability_missing = 1.0 - probability_exist
+
+            parents = list(current.values())
+            # Deletion can only happen if this layer is able to overflow the
+            # width cap; only then is the (comparatively expensive) priority
+            # ordering of the parents worthwhile.
+            if self._use_priority and 2 * len(parents) > max_width:
+                parents.sort(
+                    key=lambda node: transitions.priority(
+                        layer_index, node[0], node[1], node[2]
+                    ),
+                    reverse=True,
+                )
+
+            next_nodes: Dict[Tuple, List] = {}
+            apply = transitions.apply
+            for partition, counts, probability in parents:
+                for exists, branch_probability in (
+                    (False, probability_missing),
+                    (True, probability_exist),
+                ):
+                    if branch_probability <= 0.0:
+                        continue
+                    child_probability = probability * branch_probability
+                    sink, child_partition, child_counts, child_flags = apply(
+                        layer_index, partition, counts, exists
+                    )
+                    if sink == CONNECTED:
+                        connected_mass.add(child_probability)
+                        continue
+                    if sink == DISCONNECTED:
+                        disconnected_mass.add(child_probability)
+                        continue
+                    key = (child_partition, child_flags)
+                    node = next_nodes.get(key)
+                    if node is not None:
+                        node[2] += child_probability
+                    elif len(next_nodes) < max_width:
+                        next_nodes[key] = [child_partition, child_counts, child_probability]
+                    else:
+                        # Deleting procedure: the node becomes a stratum.
+                        strata.append(
+                            Stratum(
+                                layer_index + 1,
+                                child_partition,
+                                child_counts,
+                                child_probability,
+                            )
+                        )
+                        deleted_mass.add(child_probability)
+            current = next_nodes
+            if len(current) > peak_width:
+                peak_width = len(current)
+
+            # Early termination (Algorithm 2, lines 26–32).  Two triggers:
+            #
+            # 1. the unresolved mass is so small that the stratified budget
+            #    would not allocate a single sample to it — finishing the
+            #    construction cannot change the estimate; or
+            # 2. most of the unresolved mass has already been delegated to
+            #    strata (dense graphs whose layer width blows past ``w``
+            #    immediately): the bounds can improve by at most the mass
+            #    still held by the surviving layer, so further layers cost
+            #    construction time without reducing the sampling work.
+            #
+            # Both triggers require that at least one node has already been
+            # deleted: as long as nothing was deleted the diagram is still
+            # exact, and finishing it yields the exact reliability (the
+            # paper's behaviour on small graphs).
+            if samples > 0 and current and strata:
+                unresolved = (
+                    1.0 - connected_mass.value - disconnected_mass.value
+                )
+                if unresolved * samples < 1.0:
+                    break
+                if (
+                    self._stratum_mass_cutoff < 1.0
+                    and deleted_mass.value > self._stratum_mass_cutoff * unresolved
+                ):
+                    break
+
+        # Nodes still alive after the loop (early termination, or the
+        # defensive case of surviving the final layer) become strata so
+        # their probability mass is still covered by sampling.
+        for partition, counts, probability in current.values():
+            strata.append(Stratum(layers_processed, partition, counts, probability))
+            deleted_mass.add(probability)
+
+        p_c = min(1.0, max(0.0, connected_mass.value))
+        p_d = min(1.0, max(0.0, disconnected_mass.value))
+        if p_c + p_d > 1.0:
+            # Numerical guard: renormalise the tiny overshoot.
+            p_d = max(0.0, 1.0 - p_c)
+        bounds = ReliabilityBounds(p_c, p_d)
+        return S2BDD._Construction(
+            bounds=bounds,
+            strata=strata,
+            peak_width=peak_width,
+            layers_processed=layers_processed,
+            deleted_mass=deleted_mass.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling procedure
+    # ------------------------------------------------------------------
+    def _sample_strata(
+        self,
+        strata: Sequence[Stratum],
+        unresolved_mass: float,
+        bounds: ReliabilityBounds,
+        samples: int,
+        estimator: EstimatorKind,
+    ) -> float:
+        """Estimate the unresolved contribution by sampling completions.
+
+        Strata are sampled proportionally to their probability mass
+        (self-weighted stratified sampling): a draw first picks a stratum
+        with probability ``p_j / p_u`` and then completes its intermediate
+        graph edge by edge.  The Monte Carlo aggregate is then
+        ``p_c + p_u · mean(indicator)``; the Horvitz–Thompson aggregate
+        weights distinct completions by their inclusion probability within
+        the unresolved population.
+        """
+        rng = self._rng
+        cumulative: List[float] = []
+        running = 0.0
+        for stratum in strata:
+            running += stratum.probability
+            cumulative.append(running)
+        total = cumulative[-1]
+
+        positives = 0
+        ht_contributions: Dict[Tuple, Tuple[float, bool]] = {}
+        want_ht = estimator is EstimatorKind.HORVITZ_THOMPSON
+
+        for _ in range(samples):
+            pick = rng.random() * total
+            index = _bisect(cumulative, pick)
+            stratum = strata[index]
+            connected, log_conditional, chosen = self._sample_completion(
+                stratum, rng, track_world=want_ht
+            )
+            if connected:
+                positives += 1
+            if want_ht:
+                key = (index, chosen)
+                if key not in ht_contributions:
+                    log_world = _safe_log(stratum.probability) + log_conditional
+                    ht_contributions[key] = (log_world, connected)
+
+        if not want_ht:
+            mean = positives / samples
+            return bounds.connected_mass + unresolved_mass * mean
+
+        # Horvitz–Thompson over the unresolved population: each distinct
+        # world G was drawn with per-trial probability q = Pr[G] / p_u.
+        estimate = 0.0
+        log_unresolved = _safe_log(unresolved_mass)
+        for log_world, connected in ht_contributions.values():
+            if not connected:
+                continue
+            log_q = log_world - log_unresolved
+            ratio = _weight_over_inclusion(log_q, samples)
+            # Contribution of world G is Pr[G] / π = p_u · q / π.
+            estimate += unresolved_mass * ratio
+        return bounds.connected_mass + min(unresolved_mass, max(0.0, estimate))
+
+    def _sample_completion(
+        self, stratum: Stratum, rng, *, track_world: bool = False
+    ) -> Tuple[bool, float, Optional[frozenset]]:
+        """Complete one possible world under ``stratum``.
+
+        Returns ``(connected, log_conditional_probability, chosen_edges)``
+        where ``chosen_edges`` is a frozenset of the remaining-edge ids that
+        were sampled as existing (``None`` unless ``track_world`` is set;
+        it is only needed by the Horvitz–Thompson estimator).
+        """
+        plan = self._plan
+        layer = stratum.layer
+        frontier = plan.frontiers[layer]
+        union_find = UnionFind()
+
+        # Seed the union-find with the frontier partition; a virtual anchor
+        # per component carries the "this component holds terminals" role.
+        anchors: List[Tuple[str, int]] = []
+        for vertex, label in zip(frontier, stratum.partition):
+            union_find.union(("component", label), vertex)
+        for label, count in enumerate(stratum.terminal_counts):
+            if count > 0:
+                anchors.append(("component", label))
+
+        # Terminals whose edges are all still undecided behave as singletons.
+        unseen_terminals = [
+            terminal
+            for terminal in self._terminals
+            if plan.first_occurrence.get(terminal, plan.num_edges) >= layer
+        ]
+
+        log_conditional = 0.0
+        chosen: List[int] = []
+        random_value = rng.random
+        union = union_find.union
+        for edge in plan.edges[layer:]:
+            if random_value() < edge.probability:
+                if track_world:
+                    log_conditional += _safe_log(edge.probability)
+                    chosen.append(edge.id)
+                if edge.u != edge.v:
+                    union(edge.u, edge.v)
+            elif track_world:
+                log_conditional += _safe_log(1.0 - edge.probability)
+
+        roots = {union_find.find(anchor) for anchor in anchors}
+        roots.update(union_find.find(terminal) for terminal in unseen_terminals)
+        connected = len(roots) <= 1
+        return connected, log_conditional, frozenset(chosen) if track_world else None
+
+
+def _bisect(cumulative: Sequence[float], value: float) -> int:
+    """Return the first index whose cumulative weight exceeds ``value``."""
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        middle = (low + high) // 2
+        if cumulative[middle] <= value:
+            low = middle + 1
+        else:
+            high = middle
+    return low
+
+
+def _safe_log(value: float) -> float:
+    """``log`` that maps non-positive values to ``-inf`` instead of raising."""
+    if value <= 0.0:
+        return float("-inf")
+    return math.log(value)
+
+
+def _weight_over_inclusion(log_q: float, samples: int) -> float:
+    """Return ``q / π`` for ``π = 1 − (1 − q)^samples``, stably.
+
+    For very small per-trial probabilities ``q`` the inclusion probability
+    is approximately ``samples · q`` and the ratio tends to ``1 / samples``;
+    computing it through logs avoids underflow for worlds whose probability
+    is far below the smallest positive float.
+    """
+    if log_q == float("-inf"):
+        return 0.0
+    if log_q >= 0.0:
+        return 1.0
+    q = math.exp(log_q)
+    if q < 1e-12:
+        # π ≈ samples·q − C(samples,2)q² ⇒ q/π ≈ 1/samples · 1/(1 − (samples−1)q/2)
+        return 1.0 / (samples * (1.0 - (samples - 1) * q / 2.0))
+    pi = -math.expm1(samples * math.log1p(-q))
+    if pi <= 0.0:
+        return 0.0
+    return q / pi

@@ -1,0 +1,108 @@
+"""Stratified-sampling sample-count reduction (Theorems 1 and 2).
+
+Given the lower bound ``p_c`` and the upper bound ``1 − p_d`` obtained from
+the S²BDD, Theorem 1 of the paper derives how many samples ``s'`` suffice
+for the stratified Monte Carlo estimator to match (or beat) the variance of
+the plain estimator with ``s`` samples.  Theorem 2 shows the same count
+works for the Horvitz–Thompson estimator.
+
+The theorem distinguishes five cases on the relation between ``p_c`` and
+``p_d``; :func:`reduced_sample_count` implements them verbatim, plus the
+obvious guards (never negative, never more than ``s``, zero when the bounds
+already pin the answer).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative_int, check_probability
+
+__all__ = ["reduced_sample_count", "reduction_rate", "stratified_variance", "plain_variance"]
+
+#: Bounds closer together than this are treated as exact (no sampling).
+_EXACT_TOLERANCE = 1e-12
+
+
+def reduced_sample_count(samples: int, p_c: float, p_d: float) -> int:
+    """Return the reduced number of samples ``s'`` of Theorem 1.
+
+    Parameters
+    ----------
+    samples:
+        The requested sample budget ``s``.
+    p_c:
+        Probability mass proven connected (lower bound of ``R``).
+    p_d:
+        Probability mass proven disconnected (so ``1 − p_d`` upper-bounds ``R``).
+
+    Returns
+    -------
+    int
+        ``s' ≤ s`` such that the stratified estimator with ``s'`` samples has
+        variance no larger than the plain estimator with ``s`` samples.
+    """
+    check_non_negative_int(samples, "samples")
+    p_c = check_probability(p_c, "p_c")
+    p_d = check_probability(p_d, "p_d")
+    if p_c + p_d > 1.0 + 1e-9:
+        raise ConfigurationError(
+            f"p_c + p_d must not exceed 1, got {p_c} + {p_d} = {p_c + p_d}"
+        )
+
+    if samples == 0:
+        return 0
+    # Bounds already determine R exactly: no sampling needed at all.
+    if 1.0 - p_c - p_d <= _EXACT_TOLERANCE:
+        return 0
+
+    if p_c <= 0.0 and p_d <= 0.0:
+        reduced = float(samples)
+    elif p_c <= 0.0:
+        reduced = samples * (1.0 - p_d)
+    elif p_d <= 0.0:
+        reduced = samples * (1.0 - p_c)
+    elif math.isclose(p_c, p_d, rel_tol=0.0, abs_tol=1e-15):
+        reduced = samples * (1.0 - 4.0 * p_c * (1.0 - p_c))
+    elif p_c < p_d:
+        reduced = samples * (1.0 - 4.0 * p_c * (1.0 - p_d))
+    else:  # p_c > p_d
+        option_a = 4.0 * p_c * (1.0 - p_c)
+        option_b = 4.0 * (p_c * (1.0 - p_d) + (p_d - p_c))
+        reduced = samples * (1.0 - min(option_a, option_b))
+
+    return int(max(0, min(samples, math.floor(reduced))))
+
+
+def reduction_rate(samples: int, p_c: float, p_d: float) -> float:
+    """Return ``s' / s`` (the paper's "reduction rate of # of samples").
+
+    By convention the rate is 1.0 when ``samples`` is zero.
+    """
+    if samples == 0:
+        return 1.0
+    return reduced_sample_count(samples, p_c, p_d) / samples
+
+
+def plain_variance(reliability: float, samples: int) -> float:
+    """Variance of the plain Monte Carlo estimator, Equation (2)."""
+    reliability = check_probability(reliability, "reliability")
+    check_non_negative_int(samples, "samples")
+    if samples == 0:
+        return float("inf")
+    return reliability * (1.0 - reliability) / samples
+
+
+def stratified_variance(
+    reliability: float, p_c: float, p_d: float, samples: int
+) -> float:
+    """Variance of the stratified Monte Carlo estimator, Equation (3)."""
+    reliability = check_probability(reliability, "reliability")
+    p_c = check_probability(p_c, "p_c")
+    p_d = check_probability(p_d, "p_d")
+    check_non_negative_int(samples, "samples")
+    if samples == 0:
+        return 0.0 if 1.0 - p_c - p_d <= _EXACT_TOLERANCE else float("inf")
+    numerator = max(0.0, reliability - p_c) * max(0.0, 1.0 - p_d - reliability)
+    return numerator / samples

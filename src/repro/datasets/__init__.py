@@ -1,0 +1,26 @@
+"""Datasets used by the paper's evaluation (Table 2) and their substitutes.
+
+The Zachary karate club is embedded verbatim; the remaining datasets are
+seeded synthetic graphs from the same structural family, see DESIGN.md for
+the substitution rationale.  :func:`load_dataset` is the single entry point
+used by the experiment harness, the benchmarks and the examples.
+"""
+
+from repro.datasets.karate import KARATE_EDGES, karate_club_graph
+from repro.datasets.registry import (
+    DatasetSpec,
+    PaperStats,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "KARATE_EDGES",
+    "PaperStats",
+    "available_datasets",
+    "dataset_spec",
+    "karate_club_graph",
+    "load_dataset",
+]

@@ -1,0 +1,205 @@
+"""Dataset registry mirroring Table 2 of the paper.
+
+The paper evaluates on seven datasets.  The karate club is embedded
+verbatim; the other six cannot be shipped offline and are replaced by
+seeded synthetic graphs from the same structural family (see DESIGN.md,
+"Substitutions").  Each dataset is registered with the statistics the paper
+reports so Table 2 can be regenerated side by side with the substitutes'
+actual statistics.
+
+Two scales are available:
+
+* ``"bench"`` (default) — sizes small enough for the pure-Python benchmark
+  harness to finish in seconds/minutes,
+* ``"paper"`` — the original vertex counts (generation is fast, but running
+  reliability queries on them in pure Python takes hours; provided for
+  completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import (
+    affiliation_graph,
+    coauthorship_graph,
+    protein_interaction_graph,
+    road_network_graph,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.datasets.karate import karate_club_graph
+from repro.utils.rng import RandomLike
+
+__all__ = ["DatasetSpec", "PaperStats", "available_datasets", "load_dataset", "dataset_spec"]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The statistics Table 2 reports for the original dataset."""
+
+    vertices: int
+    edges: int
+    average_degree: float
+    average_probability: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the dataset registry."""
+
+    name: str
+    abbreviation: str
+    kind: str
+    description: str
+    paper: PaperStats
+    small: bool  # True for the accuracy datasets (exact answer computable)
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    "karate": DatasetSpec(
+        name="Zachary-karate-club",
+        abbreviation="Karate",
+        kind="Social",
+        description="Zachary's karate club (embedded verbatim); uniform probabilities.",
+        paper=PaperStats(34, 78, 4.59, 0.527),
+        small=True,
+    ),
+    "amrv": DatasetSpec(
+        name="American-Revolution",
+        abbreviation="Am-Rv",
+        kind="Affiliation",
+        description="Synthetic bipartite affiliation graph (Am-Rv substitute).",
+        paper=PaperStats(141, 160, 2.27, 0.528),
+        small=True,
+    ),
+    "dblp1": DatasetSpec(
+        name="DBLP before 2000",
+        abbreviation="DBLP1",
+        kind="Coauthorship",
+        description="Synthetic community co-authorship graph (DBLP substitute).",
+        paper=PaperStats(25_871, 108_459, 8.38, 0.222),
+        small=False,
+    ),
+    "dblp2": DatasetSpec(
+        name="DBLP after 2000",
+        abbreviation="DBLP2",
+        kind="Coauthorship",
+        description="Synthetic community co-authorship graph, sparser variant.",
+        paper=PaperStats(48_938, 136_034, 5.56, 0.203),
+        small=False,
+    ),
+    "tokyo": DatasetSpec(
+        name="Tokyo",
+        abbreviation="Tokyo",
+        kind="Road network",
+        description="Synthetic near-planar road network (Tokyo substitute).",
+        paper=PaperStats(26_370, 32_298, 2.45, 0.391),
+        small=False,
+    ),
+    "nyc": DatasetSpec(
+        name="New York City",
+        abbreviation="NYC",
+        kind="Road network",
+        description="Synthetic near-planar road network, larger variant.",
+        paper=PaperStats(180_188, 208_441, 2.31, 0.294),
+        small=False,
+    ),
+    "hitd": DatasetSpec(
+        name="Hit-direct",
+        abbreviation="Hit-d",
+        kind="Protein",
+        description="Synthetic dense protein-interaction network (Hit-direct substitute).",
+        paper=PaperStats(18_256, 248_770, 27.25, 0.470),
+        small=False,
+    ),
+}
+
+#: Sizes used when ``scale="bench"`` (kept pure-Python friendly).
+_BENCH_SIZES: Dict[str, Dict[str, int]] = {
+    "amrv": {"people": 106, "organizations": 35},
+    "dblp1": {"authors": 600},
+    "dblp2": {"authors": 900},
+    "tokyo": {"rows": 16, "cols": 16},
+    "nyc": {"rows": 26, "cols": 26},
+    "hitd": {"proteins": 220},
+}
+
+#: Sizes used when ``scale="paper"`` (matching Table 2 vertex counts).
+_PAPER_SIZES: Dict[str, Dict[str, int]] = {
+    "amrv": {"people": 106, "organizations": 35},
+    "dblp1": {"authors": 25_871},
+    "dblp2": {"authors": 48_938},
+    "tokyo": {"rows": 162, "cols": 163},
+    "nyc": {"rows": 424, "cols": 425},
+    "hitd": {"proteins": 18_256},
+}
+
+
+def available_datasets() -> List[str]:
+    """Return the dataset keys in registry order."""
+    return list(_SPECS)
+
+
+def dataset_spec(key: str) -> DatasetSpec:
+    """Return the registry entry for ``key``."""
+    try:
+        return _SPECS[key]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {key!r}; available: {', '.join(_SPECS)}"
+        ) from None
+
+
+def load_dataset(
+    key: str,
+    *,
+    scale: str = "bench",
+    rng: RandomLike = None,
+) -> UncertainGraph:
+    """Build the dataset (or its substitute) identified by ``key``.
+
+    Parameters
+    ----------
+    key:
+        One of :func:`available_datasets`.
+    scale:
+        ``"bench"`` (default) for pure-Python-friendly sizes, ``"paper"``
+        for the original Table 2 vertex counts.
+    rng:
+        Seed or generator; when ``None`` a fixed per-dataset seed is used so
+        that repeated loads are identical.
+    """
+    spec = dataset_spec(key)
+    if scale not in ("bench", "paper"):
+        raise DatasetError(f"unknown scale {scale!r}; use 'bench' or 'paper'")
+    sizes = (_PAPER_SIZES if scale == "paper" else _BENCH_SIZES).get(key, {})
+    seed: RandomLike = rng if rng is not None else _default_seed(key)
+
+    if key == "karate":
+        return karate_club_graph(rng=seed)
+    if key == "amrv":
+        return affiliation_graph(
+            sizes["people"], sizes["organizations"], memberships_per_person=1.45,
+            rng=seed, name=spec.abbreviation,
+        )
+    if key in ("dblp1", "dblp2"):
+        papers = 2.8 if key == "dblp1" else 2.0
+        return coauthorship_graph(
+            sizes["authors"], papers_per_author=papers, rng=seed, name=spec.abbreviation
+        )
+    if key in ("tokyo", "nyc"):
+        return road_network_graph(
+            sizes["rows"], sizes["cols"], rng=seed, name=spec.abbreviation
+        )
+    if key == "hitd":
+        return protein_interaction_graph(
+            sizes["proteins"], average_degree=27.0, rng=seed, name=spec.abbreviation
+        )
+    raise DatasetError(f"no builder registered for dataset {key!r}")
+
+
+def _default_seed(key: str) -> int:
+    """Stable per-dataset seed derived from the key name."""
+    return sum(ord(character) for character in key) * 7919

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class at an API boundary.  More specific subclasses signal which
+layer of the system rejected the input (graph model, estimator configuration,
+preprocessing, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "EdgeNotFoundError",
+    "VertexNotFoundError",
+    "InvalidProbabilityError",
+    "TerminalError",
+    "EstimatorError",
+    "ConfigurationError",
+    "BDDLimitExceededError",
+    "PreprocessError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation refers to a vertex that is not in the graph."""
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation refers to an edge that is not in the graph."""
+
+
+class InvalidProbabilityError(GraphError, ValueError):
+    """Raised when an edge probability lies outside the interval ``(0, 1]``."""
+
+
+class TerminalError(ReproError, ValueError):
+    """Raised when a terminal set is invalid for the given graph."""
+
+
+class EstimatorError(ReproError):
+    """Raised when a reliability estimator is misused or misconfigured."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised for invalid algorithm parameters (sample counts, widths, ...)."""
+
+
+class BDDLimitExceededError(ReproError, MemoryError):
+    """Raised when an exact BDD construction exceeds its node budget.
+
+    The experiment harness interprets this as the paper's "DNF" outcome for
+    the exact BDD baseline on large graphs.
+    """
+
+
+class PreprocessError(ReproError):
+    """Raised when the extension technique receives an unusable input."""
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised when a named dataset cannot be built or is unknown."""

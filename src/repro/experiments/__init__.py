@@ -1,0 +1,46 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+Each table and figure of the paper has a runner that generates the same
+rows / series from the datasets in :mod:`repro.datasets` (or their
+substitutes).  The runners are also exposed through a small CLI::
+
+    python -m repro.experiments table2
+    python -m repro.experiments figure3 --samples 2000 --terminals 5
+    python -m repro.experiments all
+
+and through the pytest-benchmark suites in ``benchmarks/``.  Measured
+outputs are recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import accuracy_metrics, error_rate, variance
+from repro.experiments.runners import (
+    run_ablation_heuristic,
+    run_ablation_ordering,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.tables import Table, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "Table",
+    "accuracy_metrics",
+    "error_rate",
+    "format_table",
+    "run_ablation_heuristic",
+    "run_ablation_ordering",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "variance",
+]

@@ -1,0 +1,93 @@
+"""Accuracy metrics used in Section 7.6 of the paper.
+
+Given exact reliabilities ``R_i`` for ``q1`` searches and approximate
+reliabilities ``R̂_{i,j}`` for ``q2`` repetitions of each search, the paper
+reports
+
+* variance  = Σ_i Σ_j (R_i − R̂_{i,j})² / (q1 · q2)
+* error rate = Σ_i Σ_j |R_i − R̂_{i,j}| / (q1 · q2 · R_i)
+
+(the error rate is undefined for ``R_i = 0``; such searches are skipped in
+the denominator-bearing sum, matching the paper's use of strictly positive
+exact reliabilities on the small datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AccuracyMetrics", "accuracy_metrics", "error_rate", "variance"]
+
+
+@dataclass(frozen=True)
+class AccuracyMetrics:
+    """Variance and error rate of a batch of approximations."""
+
+    variance: float
+    error_rate: float
+    num_searches: int
+    num_repeats: int
+
+
+def variance(
+    exact_values: Sequence[float],
+    approximations: Sequence[Sequence[float]],
+) -> float:
+    """Mean squared deviation of the approximations from the exact values."""
+    _validate(exact_values, approximations)
+    total = 0.0
+    count = 0
+    for exact, repeats in zip(exact_values, approximations):
+        for approx in repeats:
+            total += (exact - approx) ** 2
+            count += 1
+    return total / count if count else 0.0
+
+
+def error_rate(
+    exact_values: Sequence[float],
+    approximations: Sequence[Sequence[float]],
+) -> float:
+    """Mean relative absolute error of the approximations."""
+    _validate(exact_values, approximations)
+    total = 0.0
+    count = 0
+    for exact, repeats in zip(exact_values, approximations):
+        if exact <= 0.0:
+            # Relative error undefined; the paper's accuracy datasets have
+            # strictly positive exact reliabilities so this only protects
+            # against degenerate searches.
+            continue
+        for approx in repeats:
+            total += abs(exact - approx) / exact
+            count += 1
+    return total / count if count else 0.0
+
+
+def accuracy_metrics(
+    exact_values: Sequence[float],
+    approximations: Sequence[Sequence[float]],
+) -> AccuracyMetrics:
+    """Compute both metrics and return them together."""
+    _validate(exact_values, approximations)
+    repeats = len(approximations[0]) if approximations else 0
+    return AccuracyMetrics(
+        variance=variance(exact_values, approximations),
+        error_rate=error_rate(exact_values, approximations),
+        num_searches=len(exact_values),
+        num_repeats=repeats,
+    )
+
+
+def _validate(
+    exact_values: Sequence[float],
+    approximations: Sequence[Sequence[float]],
+) -> None:
+    if len(exact_values) != len(approximations):
+        raise ConfigurationError(
+            "exact_values and approximations must have the same length "
+            f"({len(exact_values)} vs {len(approximations)})"
+        )

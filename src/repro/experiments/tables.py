@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the experiment harness.
+
+The harness prints the same rows the paper's tables and figure data series
+contain; this module keeps the formatting in one place so runner output and
+benchmark output look identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "format_table"]
+
+Cell = Union[str, int, float, None]
+
+
+@dataclass
+class Table:
+    """A simple titled table of rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form footnote rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Return the formatted table as a string."""
+        return format_table(self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(table: Table) -> str:
+    """Render ``table`` with aligned columns."""
+    header = [str(column) for column in table.columns]
+    body = [[_format_cell(cell) for cell in row] for row in table.rows]
+    widths = [len(column) for column in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Iterable[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    lines.append(format_row(header))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in body)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Workload generation shared by the experiment runners.
+
+A "search" in the paper's terminology is one terminal set drawn uniformly
+at random from the vertices of a dataset (Section 7.2).  The helpers here
+generate reproducible searches and hold a small cache of loaded datasets so
+a multi-table run does not rebuild the same graph repeatedly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.datasets import load_dataset
+from repro.graph.components import GraphDecomposition, decompose_graph
+from repro.graph.connectivity import terminals_connected
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import resolve_rng
+
+__all__ = ["DatasetCache", "Search", "generate_searches"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Search:
+    """One reliability query: a dataset and a terminal set."""
+
+    dataset: str
+    terminals: Tuple[Vertex, ...]
+
+    @property
+    def k(self) -> int:
+        """Number of terminals."""
+        return len(self.terminals)
+
+
+class DatasetCache:
+    """Loads datasets once and memoises their 2ECC decompositions."""
+
+    def __init__(self, *, scale: str = "bench") -> None:
+        self._scale = scale
+        self._graphs: Dict[str, UncertainGraph] = {}
+        self._decompositions: Dict[str, GraphDecomposition] = {}
+
+    def graph(self, key: str) -> UncertainGraph:
+        """Return (and cache) the dataset identified by ``key``."""
+        if key not in self._graphs:
+            self._graphs[key] = load_dataset(key, scale=self._scale)
+        return self._graphs[key]
+
+    def decomposition(self, key: str) -> GraphDecomposition:
+        """Return (and cache) the 2ECC decomposition of dataset ``key``.
+
+        This mirrors the paper's precomputed index: it only depends on the
+        topology, so it is shared across every query on the dataset.
+        """
+        if key not in self._decompositions:
+            self._decompositions[key] = decompose_graph(self.graph(key))
+        return self._decompositions[key]
+
+
+def generate_searches(
+    graph: UncertainGraph,
+    dataset: str,
+    num_terminals: int,
+    num_searches: int,
+    *,
+    seed: int,
+    require_connected: bool = False,
+) -> List[Search]:
+    """Draw ``num_searches`` random terminal sets of size ``num_terminals``.
+
+    Parameters
+    ----------
+    require_connected:
+        When set, only terminal sets that are connected in the underlying
+        topology are kept (used by the accuracy experiments, where a
+        trivially-zero reliability would make the relative error
+        undefined).  Sampling retries a bounded number of times and falls
+        back to unconstrained sets if the graph is too fragmented.
+    """
+    generator = resolve_rng(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    searches: List[Search] = []
+    attempts = 0
+    max_attempts = num_searches * 50
+    while len(searches) < num_searches and attempts < max_attempts:
+        attempts += 1
+        terminals = tuple(generator.sample(vertices, min(num_terminals, len(vertices))))
+        if require_connected and not terminals_connected(graph, terminals):
+            continue
+        searches.append(Search(dataset=dataset, terminals=terminals))
+    while len(searches) < num_searches:
+        terminals = tuple(generator.sample(vertices, min(num_terminals, len(vertices))))
+        searches.append(Search(dataset=dataset, terminals=terminals))
+    return searches

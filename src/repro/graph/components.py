@@ -1,0 +1,241 @@
+"""Bridges, articulation points, and 2-edge-connected components.
+
+The extension technique of the paper (Section 5) is built on the
+2-edge-connected decomposition of the uncertain graph's topology:
+
+* a **bridge** is an edge whose removal disconnects the graph,
+* an **articulation point** is a vertex whose removal disconnects it,
+* a **2-edge-connected component (2ECC)** is a maximal subgraph that stays
+  connected after removing any single edge.
+
+Removing all bridges from a connected graph leaves exactly the 2ECCs as the
+connected components, and contracting each 2ECC to a single vertex yields a
+tree (the *bridge tree*) whose edges are the bridges.  The preprocessing
+pipeline uses that tree to prune, decompose and transform the input graph.
+
+All traversals are iterative so deep graphs do not exhaust Python's
+recursion limit.  Parallel edges are handled correctly: two parallel edges
+between the same endpoints mean that neither of them is a bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.union_find import UnionFind
+
+__all__ = [
+    "GraphDecomposition",
+    "decompose_graph",
+    "find_articulation_points",
+    "find_bridges",
+    "two_edge_connected_components",
+]
+
+Vertex = Hashable
+
+
+@dataclass
+class GraphDecomposition:
+    """The full 2-edge-connected decomposition of a graph.
+
+    Attributes
+    ----------
+    bridges:
+        Ids of bridge edges.
+    articulation_points:
+        Vertices whose removal disconnects the graph.
+    components:
+        The 2-edge-connected components, each a frozenset of vertices.
+        Every vertex belongs to exactly one component (an isolated or
+        tree-like vertex forms a singleton component).
+    component_of:
+        Mapping from vertex to the index of its component in ``components``.
+    """
+
+    bridges: FrozenSet[int]
+    articulation_points: FrozenSet[Vertex]
+    components: Tuple[FrozenSet[Vertex], ...]
+    component_of: Dict[Vertex, int] = field(default_factory=dict)
+
+    @property
+    def num_components(self) -> int:
+        """Number of 2-edge-connected components."""
+        return len(self.components)
+
+    def bridge_tree_edges(
+        self, graph: UncertainGraph
+    ) -> List[Tuple[int, int, int]]:
+        """Return the bridge-tree edges as ``(component_i, component_j, edge_id)``.
+
+        Each bridge of the original graph connects two distinct components;
+        the resulting structure is a forest (a tree when the input graph is
+        connected).
+        """
+        edges: List[Tuple[int, int, int]] = []
+        for bridge_id in sorted(self.bridges):
+            bridge = graph.edge(bridge_id)
+            ci = self.component_of[bridge.u]
+            cj = self.component_of[bridge.v]
+            edges.append((ci, cj, bridge_id))
+        return edges
+
+
+def find_bridges(graph: UncertainGraph) -> Set[int]:
+    """Return the set of bridge edge ids of ``graph``.
+
+    Implementation: iterative depth-first search computing low-link values.
+    An edge ``(u, v)`` (traversed from ``u`` to child ``v``) is a bridge iff
+    ``low[v] > disc[u]``.  Parallel edges are distinguished by edge id, so a
+    parallel pair is never reported as a bridge.  Self-loops are never
+    bridges.
+    """
+    disc: Dict[Vertex, int] = {}
+    low: Dict[Vertex, int] = {}
+    bridges: Set[int] = set()
+    counter = 0
+
+    adjacency: Dict[Vertex, List[Tuple[Vertex, int]]] = {v: [] for v in graph.vertices()}
+    for edge in graph.edges():
+        if edge.is_loop():
+            continue
+        adjacency[edge.u].append((edge.v, edge.id))
+        adjacency[edge.v].append((edge.u, edge.id))
+
+    for root in graph.vertices():
+        if root in disc:
+            continue
+        # Stack frames: (vertex, parent_edge_id, iterator index)
+        disc[root] = low[root] = counter
+        counter += 1
+        stack: List[Tuple[Vertex, int, int]] = [(root, -1, 0)]
+        while stack:
+            vertex, parent_edge, index = stack.pop()
+            neighbors = adjacency[vertex]
+            advanced = False
+            while index < len(neighbors):
+                neighbor, edge_id = neighbors[index]
+                index += 1
+                if edge_id == parent_edge:
+                    continue
+                if neighbor not in disc:
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((vertex, parent_edge, index))
+                    stack.append((neighbor, edge_id, 0))
+                    advanced = True
+                    break
+                low[vertex] = min(low[vertex], disc[neighbor])
+            if advanced:
+                continue
+            # Post-order: propagate low-link to the parent frame.
+            if stack:
+                parent_vertex = stack[-1][0]
+                low[parent_vertex] = min(low[parent_vertex], low[vertex])
+                if parent_edge != -1 and low[vertex] > disc[parent_vertex]:
+                    bridges.add(parent_edge)
+    return bridges
+
+
+def find_articulation_points(graph: UncertainGraph) -> Set[Vertex]:
+    """Return the articulation points (cut vertices) of ``graph``.
+
+    Iterative Hopcroft–Tarjan: a non-root vertex ``u`` is an articulation
+    point iff it has a DFS child ``v`` with ``low[v] >= disc[u]``; the root
+    is an articulation point iff it has at least two DFS children.
+    """
+    disc: Dict[Vertex, int] = {}
+    low: Dict[Vertex, int] = {}
+    articulation: Set[Vertex] = set()
+    counter = 0
+
+    adjacency: Dict[Vertex, List[Tuple[Vertex, int]]] = {v: [] for v in graph.vertices()}
+    for edge in graph.edges():
+        if edge.is_loop():
+            continue
+        adjacency[edge.u].append((edge.v, edge.id))
+        adjacency[edge.v].append((edge.u, edge.id))
+
+    for root in graph.vertices():
+        if root in disc:
+            continue
+        disc[root] = low[root] = counter
+        counter += 1
+        root_children = 0
+        stack: List[Tuple[Vertex, int, int]] = [(root, -1, 0)]
+        while stack:
+            vertex, parent_edge, index = stack.pop()
+            neighbors = adjacency[vertex]
+            advanced = False
+            while index < len(neighbors):
+                neighbor, edge_id = neighbors[index]
+                index += 1
+                if edge_id == parent_edge:
+                    continue
+                if neighbor not in disc:
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    if vertex == root:
+                        root_children += 1
+                    stack.append((vertex, parent_edge, index))
+                    stack.append((neighbor, edge_id, 0))
+                    advanced = True
+                    break
+                low[vertex] = min(low[vertex], disc[neighbor])
+            if advanced:
+                continue
+            if stack:
+                parent_vertex = stack[-1][0]
+                low[parent_vertex] = min(low[parent_vertex], low[vertex])
+                if parent_vertex != root and low[vertex] >= disc[parent_vertex]:
+                    articulation.add(parent_vertex)
+        if root_children >= 2:
+            articulation.add(root)
+    return articulation
+
+
+def two_edge_connected_components(graph: UncertainGraph) -> List[FrozenSet[Vertex]]:
+    """Return the 2-edge-connected components as vertex sets.
+
+    Computed by removing the bridges and taking connected components of the
+    remainder.  Vertices with no non-bridge incident edge form singleton
+    components.
+    """
+    bridges = find_bridges(graph)
+    union_find = UnionFind(graph.vertices())
+    for edge in graph.edges():
+        if edge.id in bridges or edge.is_loop():
+            continue
+        union_find.union(edge.u, edge.v)
+    return [frozenset(members) for members in union_find.groups().values()]
+
+
+def decompose_graph(graph: UncertainGraph) -> GraphDecomposition:
+    """Compute the full decomposition (bridges, cut vertices, 2ECCs).
+
+    This corresponds to the index the paper precomputes for the extension
+    technique (Definition 3): the caller typically computes it once per
+    graph and reuses it across queries with different terminal sets.
+    """
+    bridges = frozenset(find_bridges(graph))
+    articulation = frozenset(find_articulation_points(graph))
+    union_find = UnionFind(graph.vertices())
+    for edge in graph.edges():
+        if edge.id in bridges or edge.is_loop():
+            continue
+        union_find.union(edge.u, edge.v)
+    components = tuple(
+        frozenset(members) for members in union_find.groups().values()
+    )
+    component_of: Dict[Vertex, int] = {}
+    for index, component in enumerate(components):
+        for vertex in component:
+            component_of[vertex] = index
+    return GraphDecomposition(
+        bridges=bridges,
+        articulation_points=articulation,
+        components=components,
+        component_of=component_of,
+    )

@@ -1,0 +1,86 @@
+"""Edge-list I/O for uncertain graphs.
+
+The on-disk format is the common whitespace-separated edge list used by
+uncertain-graph datasets (KONECT, SNAP dumps with probabilities appended):
+
+.. code-block:: text
+
+    # comment lines start with '#' or '%'
+    u v probability
+
+Vertex labels are kept as strings unless every label parses as an integer,
+in which case they are converted so loaded graphs match the generators'
+integer vertex convention.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.exceptions import DatasetError
+from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def parse_edge_list(lines: Iterable[str], *, name: str = "") -> UncertainGraph:
+    """Parse an iterable of edge-list lines into an :class:`UncertainGraph`."""
+    triples: List[Tuple[str, str, float]] = []
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise DatasetError(
+                f"line {line_number}: expected 'u v [probability]', got {raw_line!r}"
+            )
+        u, v = parts[0], parts[1]
+        probability = 1.0
+        if len(parts) >= 3:
+            try:
+                probability = float(parts[2])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"line {line_number}: invalid probability {parts[2]!r}"
+                ) from exc
+        triples.append((u, v, probability))
+    if not triples:
+        raise DatasetError("edge list contains no edges")
+
+    if all(_is_int(u) and _is_int(v) for u, v, _ in triples):
+        converted = [(int(u), int(v), p) for u, v, p in triples]
+        return UncertainGraph.from_edge_list(converted, name=name)
+    return UncertainGraph.from_edge_list(triples, name=name)
+
+
+def read_edge_list(path: PathLike, *, name: str = "") -> UncertainGraph:
+    """Read an uncertain graph from an edge-list file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_edge_list(handle, name=name or os.path.basename(str(path)))
+
+
+def write_edge_list(graph: UncertainGraph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write ``graph`` to an edge-list file (or open text handle)."""
+    def _write(handle: TextIO) -> None:
+        handle.write(f"# uncertain graph {graph.name or 'unnamed'}\n")
+        handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for u, v, probability in graph.to_edge_list():
+            handle.write(f"{u} {v} {probability:.10g}\n")
+
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file)  # type: ignore[arg-type]
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            _write(handle)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True

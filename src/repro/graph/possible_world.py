@@ -1,0 +1,141 @@
+"""Possible worlds of an uncertain graph.
+
+A *possible world* (the paper's "possible graph" ``Gp``) fixes every edge of
+the uncertain graph to either existent or non-existent.  Its probability is
+the product of ``p(e)`` over existing edges and ``1 - p(e)`` over missing
+edges.  Enumerating or sampling possible worlds is the basic primitive both
+of the brute-force oracle and of the sampling baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Hashable, Iterable, Iterator, Sequence, Tuple
+
+from repro.graph.connectivity import terminals_connected
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import RandomLike, resolve_rng
+
+__all__ = [
+    "PossibleWorld",
+    "enumerate_possible_worlds",
+    "sample_possible_world",
+    "world_probability",
+    "world_log_probability",
+    "world_probability_exact",
+]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """A single possible world: the set of edge ids that exist."""
+
+    existing_edges: FrozenSet[int]
+    probability: float
+
+    def contains_edge(self, edge_id: int) -> bool:
+        """Return ``True`` if the edge exists in this world."""
+        return edge_id in self.existing_edges
+
+    def terminals_connected(
+        self, graph: UncertainGraph, terminals: Sequence[Vertex]
+    ) -> bool:
+        """Evaluate the indicator ``I(Gp, T)`` for this world."""
+        return terminals_connected(graph, terminals, edge_ids=self.existing_edges)
+
+
+def world_probability(graph: UncertainGraph, existing_edges: Iterable[int]) -> float:
+    """Return ``Pr[Gp]`` for the world whose existing edges are given."""
+    existing = set(existing_edges)
+    probability = 1.0
+    for edge in graph.edges():
+        if edge.id in existing:
+            probability *= edge.probability
+        else:
+            probability *= 1.0 - edge.probability
+    return probability
+
+
+def world_log_probability(graph: UncertainGraph, existing_edges: Iterable[int]) -> float:
+    """Return ``log Pr[Gp]``; ``-inf`` if the world has probability zero.
+
+    Log-space is used by the Horvitz–Thompson baseline on large graphs,
+    where individual world probabilities underflow 64-bit floats.
+    """
+    existing = set(existing_edges)
+    log_probability = 0.0
+    for edge in graph.edges():
+        p = edge.probability if edge.id in existing else 1.0 - edge.probability
+        if p <= 0.0:
+            return float("-inf")
+        log_probability += math.log(p)
+    return log_probability
+
+
+def world_probability_exact(
+    graph: UncertainGraph, existing_edges: Iterable[int]
+) -> Fraction:
+    """Return ``Pr[Gp]`` as an exact :class:`fractions.Fraction`.
+
+    Used by the brute-force oracle so that ground-truth reliabilities in the
+    test suite are bit-exact.
+    """
+    existing = set(existing_edges)
+    probability = Fraction(1)
+    for edge in graph.edges():
+        p = Fraction(edge.probability)
+        probability *= p if edge.id in existing else (Fraction(1) - p)
+    return probability
+
+
+def sample_possible_world(
+    graph: UncertainGraph, rng: RandomLike = None
+) -> PossibleWorld:
+    """Draw one possible world according to the edge probabilities."""
+    generator = resolve_rng(rng)
+    existing = frozenset(
+        edge.id for edge in graph.edges() if generator.random() < edge.probability
+    )
+    return PossibleWorld(existing, world_probability(graph, existing))
+
+
+def enumerate_possible_worlds(
+    graph: UncertainGraph, *, max_edges: int = 25
+) -> Iterator[Tuple[PossibleWorld, Fraction]]:
+    """Yield every possible world with its exact probability.
+
+    The number of worlds is ``2^{|E|}``, so this is only usable on tiny
+    graphs; ``max_edges`` guards against accidental exponential blow-ups.
+
+    Yields
+    ------
+    Pairs ``(world, exact_probability)`` where ``world.probability`` holds
+    the float value and the second element the exact fraction.
+    """
+    edge_ids = [edge.id for edge in graph.edges()]
+    if len(edge_ids) > max_edges:
+        raise ValueError(
+            f"refusing to enumerate 2^{len(edge_ids)} possible worlds; "
+            f"raise max_edges explicitly if you really want this"
+        )
+    probabilities = {edge.id: edge.probability for edge in graph.edges()}
+    exact = {edge.id: Fraction(edge.probability) for edge in graph.edges()}
+    total = 1 << len(edge_ids)
+    for mask in range(total):
+        existing = frozenset(
+            edge_ids[i] for i in range(len(edge_ids)) if mask & (1 << i)
+        )
+        probability = 1.0
+        exact_probability = Fraction(1)
+        for edge_id in edge_ids:
+            if edge_id in existing:
+                probability *= probabilities[edge_id]
+                exact_probability *= exact[edge_id]
+            else:
+                probability *= 1.0 - probabilities[edge_id]
+                exact_probability *= Fraction(1) - exact[edge_id]
+        yield PossibleWorld(existing, probability), exact_probability

@@ -1,0 +1,376 @@
+"""The uncertain-graph data model.
+
+An uncertain graph ``G = (V, E, p)`` is a connected, undirected graph whose
+edges exist independently with probability ``p(e) ∈ (0, 1]`` (Section 3.1 of
+the paper).  This module provides :class:`UncertainGraph`, a multigraph-
+capable container with stable integer edge identifiers.
+
+Design notes
+------------
+* Edges carry integer ids because the frontier-based algorithms and the
+  preprocessing transformations address edges individually (two parallel
+  edges between the same endpoints are distinct objects, and the transform
+  phase of the extension technique deliberately creates and then merges
+  parallel edges).
+* Vertices may be any hashable objects (ints, strings, tuples); dataset
+  loaders typically use ints.
+* The structure is mutable: the preprocessing pipeline edits copies of the
+  input graph in place.  The reliability estimators never mutate the graph
+  they are given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    TerminalError,
+    VertexNotFoundError,
+)
+from repro.utils.validation import check_probability_open_closed
+
+__all__ = ["Edge", "UncertainGraph"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected uncertain edge.
+
+    Attributes
+    ----------
+    id:
+        Stable integer identifier, unique within its graph.
+    u, v:
+        Endpoint vertices.  ``u == v`` denotes a self-loop (only produced
+        transiently by the preprocessing transform phase).
+    probability:
+        Existence probability in ``(0, 1]``.
+    """
+
+    id: int
+    u: Vertex
+    v: Vertex
+    probability: float
+
+    def other(self, vertex: Vertex) -> Vertex:
+        """Return the endpoint opposite to ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise GraphError(f"vertex {vertex!r} is not an endpoint of edge {self.id}")
+
+    @property
+    def endpoints(self) -> Tuple[Vertex, Vertex]:
+        """The pair of endpoints ``(u, v)``."""
+        return (self.u, self.v)
+
+    def is_loop(self) -> bool:
+        """Return ``True`` for a self-loop."""
+        return self.u == self.v
+
+
+class UncertainGraph:
+    """An undirected uncertain multigraph.
+
+    Parameters
+    ----------
+    name:
+        Optional label used by dataset registries and experiment reports.
+
+    Example
+    -------
+    >>> g = UncertainGraph(name="triangle")
+    >>> _ = g.add_edge("a", "b", 0.9)
+    >>> _ = g.add_edge("b", "c", 0.8)
+    >>> _ = g.add_edge("a", "c", 0.7)
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._adjacency: Dict[Vertex, List[int]] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adjacency.setdefault(vertex, [])
+        return vertex
+
+    def add_edge(
+        self,
+        u: Vertex,
+        v: Vertex,
+        probability: float,
+        *,
+        edge_id: Optional[int] = None,
+    ) -> int:
+        """Add an undirected edge and return its id.
+
+        Parallel edges and self-loops are permitted (the preprocessing
+        transform phase relies on both); most datasets contain neither.
+        """
+        probability = check_probability_open_closed(probability, "edge probability")
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        elif edge_id in self._edges:
+            raise GraphError(f"edge id {edge_id} already exists")
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        edge = Edge(edge_id, u, v, probability)
+        self._edges[edge_id] = edge
+        self.add_vertex(u)
+        self._adjacency[u].append(edge_id)
+        if u != v:
+            self.add_vertex(v)
+            self._adjacency[v].append(edge_id)
+        return edge_id
+
+    def remove_edge(self, edge_id: int) -> Edge:
+        """Remove the edge with ``edge_id`` and return it."""
+        edge = self.edge(edge_id)
+        del self._edges[edge_id]
+        self._adjacency[edge.u].remove(edge_id)
+        if edge.u != edge.v:
+            self._adjacency[edge.v].remove(edge_id)
+        return edge
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and every edge incident to it."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        for edge_id in list(self._adjacency[vertex]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._adjacency[vertex]
+
+    def set_probability(self, edge_id: int, probability: float) -> None:
+        """Replace the existence probability of an edge."""
+        edge = self.edge(edge_id)
+        probability = check_probability_open_closed(probability, "edge probability")
+        self._edges[edge_id] = Edge(edge.id, edge.u, edge.v, probability)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return len(self._edges)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over the edges (in insertion/id order)."""
+        return iter(self._edges.values())
+
+    def edge_ids(self) -> Iterator[int]:
+        """Iterate over edge identifiers."""
+        return iter(self._edges)
+
+    def edge(self, edge_id: int) -> Edge:
+        """Return the :class:`Edge` with the given id."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise EdgeNotFoundError(edge_id) from None
+
+    def probability(self, edge_id: int) -> float:
+        """Return the existence probability of the edge with ``edge_id``."""
+        return self.edge(edge_id).probability
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is in the graph."""
+        return vertex in self._adjacency
+
+    def has_edge_between(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if at least one edge connects ``u`` and ``v``."""
+        if u not in self._adjacency or v not in self._adjacency:
+            return False
+        return any(self._edges[eid].other(u) == v for eid in self._adjacency[u])
+
+    def edges_between(self, u: Vertex, v: Vertex) -> List[Edge]:
+        """Return every (parallel) edge between ``u`` and ``v``."""
+        if u not in self._adjacency or v not in self._adjacency:
+            return []
+        if u == v:
+            return [self._edges[eid] for eid in self._adjacency[u]
+                    if self._edges[eid].is_loop()]
+        return [
+            self._edges[eid]
+            for eid in self._adjacency[u]
+            if not self._edges[eid].is_loop() and self._edges[eid].other(u) == v
+        ]
+
+    def incident_edges(self, vertex: Vertex) -> List[Edge]:
+        """Return the edges incident to ``vertex``."""
+        try:
+            edge_ids = self._adjacency[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        return [self._edges[eid] for eid in edge_ids]
+
+    def incident_edge_ids(self, vertex: Vertex) -> List[int]:
+        """Return the ids of the edges incident to ``vertex``."""
+        try:
+            return list(self._adjacency[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the degree of ``vertex`` (self-loops count once)."""
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbours of ``vertex`` (with multiplicity)."""
+        for edge in self.incident_edges(vertex):
+            if not edge.is_loop():
+                yield edge.other(vertex)
+
+    def average_degree(self) -> float:
+        """Return the average vertex degree ``2|E| / |V|``."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    def average_probability(self) -> float:
+        """Return the mean edge existence probability."""
+        if self.num_edges == 0:
+            return 0.0
+        return sum(e.probability for e in self._edges.values()) / self.num_edges
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, *, name: Optional[str] = None) -> "UncertainGraph":
+        """Return a deep-enough copy (edges are immutable, so shared)."""
+        clone = UncertainGraph(name=self.name if name is None else name)
+        clone._edges = dict(self._edges)
+        clone._adjacency = {v: list(eids) for v, eids in self._adjacency.items()}
+        clone._next_edge_id = self._next_edge_id
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex], *, name: str = "") -> "UncertainGraph":
+        """Return the subgraph induced by ``vertices`` (edge ids preserved)."""
+        keep: Set[Vertex] = set(vertices)
+        missing = [v for v in keep if v not in self._adjacency]
+        if missing:
+            raise VertexNotFoundError(missing[0])
+        sub = UncertainGraph(name=name or f"{self.name}:subgraph")
+        for vertex in keep:
+            sub.add_vertex(vertex)
+        for edge in self._edges.values():
+            if edge.u in keep and edge.v in keep:
+                sub.add_edge(edge.u, edge.v, edge.probability, edge_id=edge.id)
+        return sub
+
+    def edge_subgraph(self, edge_ids: Iterable[int], *, name: str = "") -> "UncertainGraph":
+        """Return the subgraph made of the given edges and their endpoints."""
+        sub = UncertainGraph(name=name or f"{self.name}:edge-subgraph")
+        for edge_id in edge_ids:
+            edge = self.edge(edge_id)
+            sub.add_edge(edge.u, edge.v, edge.probability, edge_id=edge.id)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Terminals and validation
+    # ------------------------------------------------------------------
+    def validate_terminals(self, terminals: Iterable[Vertex]) -> Tuple[Vertex, ...]:
+        """Check a terminal set and return it as a deduplicated tuple.
+
+        Terminals must be existing vertices and there must be at least one.
+        The order of first appearance is preserved so experiments remain
+        deterministic.
+        """
+        seen: Dict[Vertex, None] = {}
+        for terminal in terminals:
+            if terminal not in self._adjacency:
+                raise TerminalError(f"terminal {terminal!r} is not a vertex of the graph")
+            seen.setdefault(terminal, None)
+        if not seen:
+            raise TerminalError("the terminal set must not be empty")
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_edge_list(self) -> List[Tuple[Vertex, Vertex, float]]:
+        """Return ``(u, v, probability)`` triples in edge-id order."""
+        return [(e.u, e.v, e.probability) for e in sorted(self._edges.values(), key=lambda e: e.id)]
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[Tuple[Vertex, Vertex, float]],
+        *,
+        name: str = "",
+        isolated_vertices: Iterable[Vertex] = (),
+    ) -> "UncertainGraph":
+        """Build a graph from ``(u, v, probability)`` triples."""
+        graph = cls(name=name)
+        for u, v, probability in edges:
+            graph.add_edge(u, v, probability)
+        for vertex in isolated_vertices:
+            graph.add_vertex(vertex)
+        return graph
+
+    @classmethod
+    def from_probability_map(
+        cls,
+        probabilities: Mapping[Tuple[Vertex, Vertex], float],
+        *,
+        name: str = "",
+    ) -> "UncertainGraph":
+        """Build a graph from a ``{(u, v): probability}`` mapping."""
+        graph = cls(name=name)
+        for (u, v), probability in probabilities.items():
+            graph.add_edge(u, v, probability)
+        return graph
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"UncertainGraph({label} |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UncertainGraph):
+            return NotImplemented
+        return (
+            set(self._adjacency) == set(other._adjacency)
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)

@@ -1,0 +1,97 @@
+"""Decompose phase of the extension technique (Lemma 5.1).
+
+Every bridge of the (pruned) graph must exist for the terminals to be
+connected, because by construction each remaining bridge separates two
+terminal-bearing parts of the graph.  Conditioning on all bridges existing
+factors the reliability:
+
+``R[G, T] = p_b · Π_i R[G_i, T_i]``
+
+where ``p_b`` is the product of the bridge probabilities, the ``G_i`` are
+the connected components left after deleting the bridges, and ``T_i``
+contains the original terminals inside ``G_i`` plus the endpoints of the
+deleted bridges that fall inside ``G_i`` (those endpoints must reach the
+rest of the terminals *through* ``G_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from repro.graph.components import find_bridges
+from repro.graph.connectivity import connected_components
+from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["DecomposeResult", "decompose"]
+
+Vertex = Hashable
+
+
+@dataclass
+class DecomposeResult:
+    """Outcome of the bridge decomposition.
+
+    Attributes
+    ----------
+    bridge_probability:
+        ``p_b`` — the product of the probabilities of the removed bridges.
+    subproblems:
+        List of ``(subgraph, terminals)`` pairs whose reliabilities multiply
+        (together with ``p_b``) to the original reliability.  Subgraphs in
+        which fewer than two terminals fall are omitted: their factor is 1.
+    num_bridges:
+        Number of bridges removed.
+    """
+
+    bridge_probability: float
+    subproblems: List[Tuple[UncertainGraph, Tuple[Vertex, ...]]]
+    num_bridges: int
+
+
+def decompose(graph: UncertainGraph, terminals: Sequence[Vertex]) -> DecomposeResult:
+    """Split ``graph`` along its bridges.
+
+    The input is expected to be the output of the prune phase (every vertex
+    and edge relevant to the terminals), but the function is correct for any
+    connected uncertain graph whose terminals are topologically connected.
+    """
+    terminals = graph.validate_terminals(terminals)
+    bridges = find_bridges(graph)
+
+    bridge_probability = 1.0
+    bridge_endpoints: Set[Vertex] = set()
+    non_bridge_edge_ids: List[int] = []
+    for edge in graph.edges():
+        if edge.id in bridges:
+            bridge_probability *= edge.probability
+            bridge_endpoints.add(edge.u)
+            bridge_endpoints.add(edge.v)
+        else:
+            non_bridge_edge_ids.append(edge.id)
+
+    # Connected components once bridges are removed.
+    components = connected_components(graph, edge_ids=non_bridge_edge_ids)
+    terminal_set = set(terminals)
+
+    subproblems: List[Tuple[UncertainGraph, Tuple[Vertex, ...]]] = []
+    for index, component in enumerate(sorted(components, key=lambda c: repr(sorted(c, key=repr)))):
+        component_terminals = [
+            vertex
+            for vertex in sorted(component, key=repr)
+            if vertex in terminal_set or vertex in bridge_endpoints
+        ]
+        if len(component_terminals) < 2:
+            continue
+        subgraph = graph.subgraph(component, name=f"{graph.name}:component{index}")
+        if subgraph.num_edges == 0:
+            # A single articulation vertex with several bridges attached:
+            # nothing stochastic left to evaluate.
+            continue
+        subproblems.append((subgraph, tuple(component_terminals)))
+
+    return DecomposeResult(
+        bridge_probability=bridge_probability,
+        subproblems=subproblems,
+        num_bridges=len(bridges),
+    )

@@ -1,0 +1,163 @@
+"""Prune phase of the extension technique.
+
+A vertex or edge is unnecessary if removing it can never change whether the
+terminals are connected — equivalently, if it does not lie on the minimal
+Steiner subtree of the *bridge tree*: contract every 2-edge-connected
+component (2ECC) to a single node; the bridges form a tree over these
+nodes; only the components and bridges on paths between terminal-bearing
+components matter for the reliability.
+
+The implementation mirrors the paper's reconstruction (Section 5, "Prune"):
+
+1. compute the 2ECC decomposition (reused across queries when supplied),
+2. mark the components that contain at least one terminal,
+3. peel non-terminal leaves off the bridge tree until only the Steiner
+   subtree remains,
+4. map the surviving components and bridges back to vertices and edges of
+   the original uncertain graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PreprocessError
+from repro.graph.components import GraphDecomposition, decompose_graph
+from repro.graph.connectivity import terminals_connected
+from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["prune"]
+
+Vertex = Hashable
+
+
+def prune(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    decomposition: Optional[GraphDecomposition] = None,
+) -> UncertainGraph:
+    """Return the subgraph of ``graph`` relevant to the terminals.
+
+    The reliability of the returned graph with the same terminal set equals
+    the reliability of the original graph.  The terminals must be connected
+    in the underlying topology; otherwise the reliability is trivially zero
+    and a :class:`PreprocessError` is raised so the caller can short-circuit.
+    """
+    terminals = graph.validate_terminals(terminals)
+    if len(terminals) == 1:
+        # A single terminal is always "connected"; the relevant subgraph is
+        # just that vertex.
+        single = UncertainGraph(name=f"{graph.name}:pruned")
+        single.add_vertex(terminals[0])
+        return single
+    if not terminals_connected(graph, terminals):
+        raise PreprocessError(
+            "terminals are disconnected in the underlying topology; "
+            "the reliability is exactly zero"
+        )
+
+    if decomposition is None:
+        decomposition = decompose_graph(graph)
+
+    terminal_components: Set[int] = {
+        decomposition.component_of[terminal] for terminal in terminals
+    }
+
+    # Bridge tree adjacency: component index -> list of (neighbour, bridge id).
+    adjacency: Dict[int, List[Tuple[int, int]]] = {
+        index: [] for index in range(decomposition.num_components)
+    }
+    for ci, cj, bridge_id in decomposition.bridge_tree_edges(graph):
+        adjacency[ci].append((cj, bridge_id))
+        adjacency[cj].append((ci, bridge_id))
+
+    keep_components, keep_bridges = _steiner_subtree(adjacency, terminal_components)
+
+    # Map back to vertices and edges of the original graph.
+    kept_vertices: Set[Vertex] = set()
+    for index in keep_components:
+        kept_vertices.update(decomposition.components[index])
+
+    pruned = UncertainGraph(name=f"{graph.name}:pruned")
+    for vertex in kept_vertices:
+        pruned.add_vertex(vertex)
+    for edge in graph.edges():
+        if edge.id in decomposition.bridges:
+            if edge.id in keep_bridges:
+                pruned.add_edge(edge.u, edge.v, edge.probability, edge_id=edge.id)
+            continue
+        if edge.u in kept_vertices and edge.v in kept_vertices:
+            pruned.add_edge(edge.u, edge.v, edge.probability, edge_id=edge.id)
+    return pruned
+
+
+def _steiner_subtree(
+    adjacency: Dict[int, List[Tuple[int, int]]],
+    terminal_components: Set[int],
+) -> Tuple[Set[int], Set[int]]:
+    """Return the components and bridges of the minimal Steiner subtree.
+
+    Works on the bridge tree (a forest in general) by iteratively removing
+    leaves that carry no terminals; what remains is exactly the union of
+    the tree paths between terminal components.
+    """
+    if len(terminal_components) == 1:
+        return set(terminal_components), set()
+
+    # Restrict to the tree containing the terminals (the input graph is
+    # connected, so all terminal components live in one tree).
+    degree: Dict[int, int] = {node: len(neighbors) for node, neighbors in adjacency.items()}
+    removed: Set[int] = set()
+    removed_bridges: Set[int] = set()
+    leaves = [
+        node
+        for node, neighbors in adjacency.items()
+        if degree[node] <= 1 and node not in terminal_components
+    ]
+    while leaves:
+        node = leaves.pop()
+        if node in removed or node in terminal_components:
+            continue
+        if degree[node] > 1:
+            continue
+        removed.add(node)
+        for neighbor, bridge_id in adjacency[node]:
+            if neighbor in removed or bridge_id in removed_bridges:
+                continue
+            removed_bridges.add(bridge_id)
+            degree[neighbor] -= 1
+            degree[node] -= 1
+            if degree[neighbor] <= 1 and neighbor not in terminal_components:
+                leaves.append(neighbor)
+
+    keep_components = {node for node in adjacency if node not in removed}
+    keep_bridges: Set[int] = set()
+    for node in keep_components:
+        for neighbor, bridge_id in adjacency[node]:
+            if neighbor in keep_components and bridge_id not in removed_bridges:
+                keep_bridges.add(bridge_id)
+
+    # Components in other trees of the forest (unreachable from the
+    # terminals) may survive the peeling if they form cycles of bridges —
+    # impossible in a tree — or if they simply were never leaves (isolated
+    # components with degree 0).  Drop anything not reachable from a
+    # terminal component through kept bridges.
+    reachable: Set[int] = set()
+    stack = list(terminal_components)
+    while stack:
+        node = stack.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        for neighbor, bridge_id in adjacency[node]:
+            if bridge_id in keep_bridges and neighbor not in reachable:
+                stack.append(neighbor)
+    keep_components &= reachable
+    keep_bridges = {
+        bridge_id
+        for node in keep_components
+        for neighbor, bridge_id in adjacency[node]
+        if neighbor in keep_components and bridge_id in keep_bridges
+    }
+    return keep_components, keep_bridges

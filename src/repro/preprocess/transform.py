@@ -1,0 +1,148 @@
+"""Transform phase of the extension technique.
+
+Inside each decomposed component the graph can be shrunk further by three
+reliability-preserving rewrites (Section 5, "Transform"):
+
+* **series** — a non-terminal vertex of degree two with edges to two other
+  vertices is replaced by a single edge whose probability is the product of
+  the two edge probabilities (both must exist for a path through it),
+* **parallel** — two edges between the same endpoints are replaced by one
+  edge with probability ``1 − (1 − p)(1 − p')`` (at least one must exist),
+* **loop** — self-loops never affect connectivity and are removed.
+
+The rewrites are iterated to a fixpoint; series reductions can create
+parallel edges and vice versa, which is why the graph model supports
+multigraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["TransformStats", "transform"]
+
+Vertex = Hashable
+
+
+@dataclass
+class TransformStats:
+    """Counters describing how much the transform phase shrank a graph."""
+
+    series_reductions: int = 0
+    parallel_reductions: int = 0
+    loops_removed: int = 0
+    vertices_before: int = 0
+    vertices_after: int = 0
+    edges_before: int = 0
+    edges_after: int = 0
+
+
+def transform(
+    graph: UncertainGraph,
+    terminals: Sequence[Vertex],
+    *,
+    max_rounds: int = 1_000,
+) -> Tuple[UncertainGraph, TransformStats]:
+    """Return a reduced copy of ``graph`` with the same reliability.
+
+    Parameters
+    ----------
+    graph:
+        The component to reduce (not modified).
+    terminals:
+        Vertices that must be preserved; series reduction never removes a
+        terminal.
+    max_rounds:
+        Safety cap on the number of fixpoint iterations.
+
+    Returns
+    -------
+    ``(reduced_graph, stats)``
+    """
+    terminals = graph.validate_terminals(terminals)
+    terminal_set: Set[Vertex] = set(terminals)
+    reduced = graph.copy(name=f"{graph.name}:transformed")
+    stats = TransformStats(
+        vertices_before=graph.num_vertices,
+        edges_before=graph.num_edges,
+    )
+
+    for _ in range(max_rounds):
+        changed = False
+        changed |= _remove_loops(reduced, stats)
+        changed |= _merge_parallel_edges(reduced, stats)
+        changed |= _contract_series_vertices(reduced, terminal_set, stats)
+        if not changed:
+            break
+
+    stats.vertices_after = reduced.num_vertices
+    stats.edges_after = reduced.num_edges
+    return reduced, stats
+
+
+def _remove_loops(graph: UncertainGraph, stats: TransformStats) -> bool:
+    """Delete every self-loop; return ``True`` if anything changed."""
+    loops = [edge.id for edge in graph.edges() if edge.is_loop()]
+    for edge_id in loops:
+        graph.remove_edge(edge_id)
+        stats.loops_removed += 1
+    return bool(loops)
+
+
+def _merge_parallel_edges(graph: UncertainGraph, stats: TransformStats) -> bool:
+    """Merge parallel edges pairwise; return ``True`` if anything changed."""
+    groups: Dict[Tuple[Vertex, Vertex], List[int]] = {}
+    for edge in graph.edges():
+        if edge.is_loop():
+            continue
+        key = tuple(sorted((edge.u, edge.v), key=repr))  # type: ignore[assignment]
+        groups.setdefault(key, []).append(edge.id)
+
+    changed = False
+    for (u, v), edge_ids in groups.items():
+        if len(edge_ids) < 2:
+            continue
+        changed = True
+        failure_probability = 1.0
+        for edge_id in edge_ids:
+            failure_probability *= 1.0 - graph.probability(edge_id)
+            graph.remove_edge(edge_id)
+        merged_probability = min(1.0, max(1e-15, 1.0 - failure_probability))
+        graph.add_edge(u, v, merged_probability)
+        stats.parallel_reductions += len(edge_ids) - 1
+    return changed
+
+
+def _contract_series_vertices(
+    graph: UncertainGraph,
+    terminal_set: Set[Vertex],
+    stats: TransformStats,
+) -> bool:
+    """Contract degree-two non-terminal vertices; return ``True`` on change."""
+    changed = False
+    # Iterate over a snapshot: contractions mutate the vertex set.
+    for vertex in list(graph.vertices()):
+        if vertex in terminal_set or not graph.has_vertex(vertex):
+            continue
+        incident = graph.incident_edges(vertex)
+        if len(incident) != 2:
+            continue
+        first, second = incident
+        if first.is_loop() or second.is_loop():
+            continue
+        a = first.other(vertex)
+        b = second.other(vertex)
+        probability = first.probability * second.probability
+        graph.remove_vertex(vertex)
+        if a == b:
+            # Both edges led to the same neighbour; the series reduction
+            # would create a self-loop, which contributes nothing.
+            stats.loops_removed += 1
+        else:
+            graph.add_edge(a, b, max(1e-15, probability))
+        stats.series_reductions += 1
+        changed = True
+    return changed

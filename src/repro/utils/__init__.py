@@ -1,0 +1,28 @@
+"""Shared low-level utilities used across the library.
+
+The modules in this package contain no reliability-specific logic; they are
+the generic building blocks (disjoint sets, deterministic randomness, stable
+summation, timing helpers, and argument validation) that the graph substrate
+and the estimators are built on.
+"""
+
+from repro.utils.kahan import KahanSum
+from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.timers import Timer
+from repro.utils.union_find import UnionFind
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_probability_open_closed,
+)
+
+__all__ = [
+    "KahanSum",
+    "Timer",
+    "UnionFind",
+    "check_positive_int",
+    "check_probability",
+    "check_probability_open_closed",
+    "resolve_rng",
+    "spawn_rng",
+]

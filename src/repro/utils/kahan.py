@@ -1,0 +1,61 @@
+"""Compensated (Kahan) summation.
+
+Reliability estimates add up very many small probabilities (one per possible
+world or per BDD node), which is exactly the situation where naive floating
+point accumulation loses precision.  :class:`KahanSum` keeps a running
+compensation term so the accumulated error stays bounded independently of
+the number of addends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["KahanSum", "kahan_sum"]
+
+
+class KahanSum:
+    """A running compensated sum of floats."""
+
+    __slots__ = ("_total", "_compensation", "_count")
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._total = float(initial)
+        self._compensation = 0.0
+        self._count = 0
+
+    def add(self, value: float) -> None:
+        """Add ``value`` to the running total."""
+        corrected = value - self._compensation
+        new_total = self._total + corrected
+        self._compensation = (new_total - self._total) - corrected
+        self._total = new_total
+        self._count += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add every element of ``values``."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def value(self) -> float:
+        """Current compensated total."""
+        return self._total
+
+    @property
+    def count(self) -> int:
+        """Number of addends accumulated so far."""
+        return self._count
+
+    def __float__(self) -> float:
+        return self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"KahanSum(value={self._total!r}, count={self._count})"
+
+
+def kahan_sum(values: Iterable[float]) -> float:
+    """Return the compensated sum of ``values``."""
+    accumulator = KahanSum()
+    accumulator.extend(values)
+    return accumulator.value

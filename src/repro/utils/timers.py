@@ -1,0 +1,62 @@
+"""Wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """A simple context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed = 0.0
+        self._running = False
+
+    def start(self) -> "Timer":
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if not self._running or self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed += time.perf_counter() - self._start
+        self._running = False
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds accumulated so far (including the running segment)."""
+        if self._running and self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset the accumulated time to zero."""
+        self._start = None
+        self._elapsed = 0.0
+        self._running = False
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

@@ -1,0 +1,67 @@
+"""Argument validation helpers.
+
+Centralising these checks keeps error messages consistent across the public
+API and makes the validation rules (for instance "edge probabilities live in
+the half-open interval (0, 1]") testable in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_probability_open_closed",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a strictly positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it is a probability in ``[0, 1]``, else raise."""
+    value = _as_finite_float(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise InvalidProbabilityError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_probability_open_closed(value: float, name: str) -> float:
+    """Return ``value`` if it lies in ``(0, 1]``, else raise.
+
+    The paper defines edge existence probabilities on the half-open interval
+    ``(0, 1]``: an edge that never exists is simply absent from the graph.
+    """
+    value = _as_finite_float(value, name)
+    if not 0.0 < value <= 1.0:
+        raise InvalidProbabilityError(f"{name} must lie in (0, 1], got {value}")
+    return value
+
+
+def _as_finite_float(value: float, name: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProbabilityError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise InvalidProbabilityError(f"{name} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,129 @@
+"""Tests for the downstream analyses (reliable subgraph, reliability search,
+clustering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import cluster_uncertain_graph
+from repro.analysis.reliability_search import (
+    reliability_search,
+    top_k_reliable_vertices,
+)
+from repro.analysis.reliable_subgraph import find_reliable_subgraph
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import random_connected_graph
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+@pytest.fixture
+def community_graph() -> UncertainGraph:
+    """Two dense clusters joined by a single weak edge."""
+    edges = []
+    for cluster, offset in ((0, 0), (1, 5)):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((offset + i, offset + j, 0.9))
+    edges.append((0, 5, 0.05))
+    return UncertainGraph.from_edge_list(edges, name="two-communities")
+
+
+class TestReliableSubgraph:
+    def test_finds_small_subgraph_meeting_threshold(self, community_graph):
+        result = find_reliable_subgraph(
+            community_graph, [0, 1], threshold=0.8, samples=500, rng=0
+        )
+        assert result.satisfied
+        assert result.reliability >= 0.8
+        assert set(result.vertices) >= {0, 1}
+        assert result.size <= 5
+
+    def test_growth_improves_reliability(self, community_graph):
+        result = find_reliable_subgraph(
+            community_graph, [0, 4], threshold=0.99, max_size=5, samples=500, rng=1
+        )
+        history_values = [value for _, value in result.history]
+        assert history_values == sorted(history_values)
+
+    def test_unreachable_threshold_reports_unsatisfied(self, community_graph):
+        result = find_reliable_subgraph(
+            community_graph, [0, 5], threshold=0.999, max_size=3, samples=300, rng=2
+        )
+        assert not result.satisfied
+        assert result.reliability < 0.999
+
+    def test_max_size_validation(self, community_graph):
+        with pytest.raises(ConfigurationError):
+            find_reliable_subgraph(community_graph, [0, 1, 2], threshold=0.5, max_size=2)
+
+    def test_custom_oracle(self, community_graph):
+        calls = []
+
+        def oracle(subgraph, terminals):
+            calls.append(len(terminals))
+            return 1.0
+
+        result = find_reliable_subgraph(
+            community_graph, [0, 1], threshold=0.5, oracle=oracle
+        )
+        assert result.satisfied
+        assert calls
+
+
+class TestReliabilitySearch:
+    def test_same_cluster_vertices_found(self, community_graph):
+        result = reliability_search(community_graph, [0], threshold=0.6, samples=800, rng=0)
+        assert {1, 2, 3, 4} <= set(result.vertices)
+        assert all(result.probability(v) >= 0.6 for v in result.vertices)
+
+    def test_weakly_connected_cluster_excluded(self, community_graph):
+        result = reliability_search(community_graph, [0], threshold=0.5, samples=800, rng=0)
+        assert 7 not in result.vertices
+
+    def test_sources_not_reported(self, community_graph):
+        result = reliability_search(community_graph, [0, 1], threshold=0.1, samples=300, rng=0)
+        assert 0 not in result.vertices and 1 not in result.vertices
+
+    def test_refinement_runs(self, community_graph):
+        result = reliability_search(
+            community_graph, [0], threshold=0.9, samples=300, rng=0,
+            refine_with_estimator=True, refine_samples=300, refine_max_width=128,
+        )
+        assert result.samples_used == 300
+
+    def test_top_k(self, community_graph):
+        ranked = top_k_reliable_vertices(community_graph, [0], 3, samples=800, rng=0)
+        assert len(ranked) == 3
+        values = [probability for _, probability in ranked]
+        assert values == sorted(values, reverse=True)
+        assert set(vertex for vertex, _ in ranked) <= {1, 2, 3, 4}
+
+    def test_invalid_threshold(self, community_graph):
+        with pytest.raises(Exception):
+            reliability_search(community_graph, [0], threshold=1.5)
+
+
+class TestClustering:
+    def test_two_communities_recovered(self, community_graph):
+        clustering = cluster_uncertain_graph(community_graph, 2, samples=500, rng=0)
+        assert clustering.num_clusters == 2
+        left = {clustering.assignment[v] for v in range(5)}
+        right = {clustering.assignment[v] for v in range(5, 10)}
+        assert len(left) == 1 and len(right) == 1
+        assert left != right
+        assert clustering.average_connection_probability() > 0.7
+
+    def test_cluster_members(self, community_graph):
+        clustering = cluster_uncertain_graph(community_graph, 2, samples=300, rng=1)
+        total = sum(len(clustering.cluster_members(center)) for center in clustering.centers)
+        assert total == community_graph.num_vertices
+
+    def test_too_many_clusters_rejected(self, community_graph):
+        with pytest.raises(ConfigurationError):
+            cluster_uncertain_graph(community_graph, 99, samples=10)
+
+    def test_singleton_clustering(self):
+        graph = random_connected_graph(8, 12, rng=0)
+        clustering = cluster_uncertain_graph(graph, 1, samples=200, rng=0)
+        assert clustering.num_clusters == 1
+        assert len(set(clustering.assignment.values())) == 1

@@ -1,0 +1,118 @@
+"""Tests for the baseline algorithms: brute force, plain sampling, exact BDD."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.brute_force import (
+    brute_force_reliability,
+    brute_force_reliability_exact,
+)
+from repro.baselines.exact_bdd import ExactBDD, exact_bdd_reliability
+from repro.baselines.sampling import SamplingEstimator
+from repro.core.estimators import EstimatorKind
+from repro.exceptions import BDDLimitExceededError, ConfigurationError
+from repro.graph.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graph.uncertain_graph import UncertainGraph
+from tests.conftest import make_random_graph, random_terminals
+
+
+class TestBruteForce:
+    def test_single_edge(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.3)])
+        assert brute_force_reliability(graph, [0, 1]) == pytest.approx(0.3)
+
+    def test_series_path(self):
+        graph = path_graph(4, 0.5)
+        assert brute_force_reliability(graph, [0, 3]) == pytest.approx(0.125)
+
+    def test_parallel_paths(self):
+        graph = cycle_graph(4, 0.5)
+        assert brute_force_reliability(graph, [0, 2]) == pytest.approx(1 - 0.75 ** 2)
+
+    def test_single_terminal(self, triangle_graph):
+        assert brute_force_reliability(triangle_graph, ["a"]) == 1.0
+
+    def test_exact_fraction_variant(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.5), (1, 2, 0.5)])
+        assert brute_force_reliability_exact(graph, [0, 2]) == Fraction(1, 4)
+        assert brute_force_reliability_exact(graph, [0]) == Fraction(1)
+
+    def test_triangle_hand_computed(self, triangle_graph):
+        # R(a, c) = p_ac + (1 - p_ac) p_ab p_bc
+        expected = 0.7 + 0.3 * 0.9 * 0.8
+        assert brute_force_reliability(triangle_graph, ["a", "c"]) == pytest.approx(expected)
+
+
+class TestSamplingBaseline:
+    def test_converges_to_exact(self):
+        graph = make_random_graph(1)
+        terminals = random_terminals(graph, 1, 3)
+        exact = brute_force_reliability(graph, terminals)
+        result = SamplingEstimator(samples=8000, rng=0).estimate(graph, terminals)
+        assert result.reliability == pytest.approx(exact, abs=0.03)
+
+    def test_ht_converges_to_exact(self):
+        graph = make_random_graph(2)
+        terminals = random_terminals(graph, 2, 3)
+        exact = brute_force_reliability(graph, terminals)
+        result = SamplingEstimator(
+            samples=8000, estimator=EstimatorKind.HORVITZ_THOMPSON, rng=0
+        ).estimate(graph, terminals)
+        assert result.reliability == pytest.approx(exact, abs=0.05)
+
+    def test_reproducible_with_seed(self, bridge_graph):
+        a = SamplingEstimator(samples=500, rng=3).estimate(bridge_graph, [0, 5])
+        b = SamplingEstimator(samples=500, rng=3).estimate(bridge_graph, [0, 5])
+        assert a.reliability == b.reliability
+
+    def test_single_terminal_short_circuits(self, bridge_graph):
+        result = SamplingEstimator(samples=10, rng=0).estimate(bridge_graph, [0])
+        assert result.reliability == 1.0
+        assert result.samples_used == 0
+
+    def test_result_metadata(self, bridge_graph):
+        result = SamplingEstimator(samples=200, rng=0).estimate(bridge_graph, [0, 5])
+        assert result.samples_used == 200
+        assert 0 <= result.positive_samples <= 200
+        assert result.positive_fraction == pytest.approx(result.positive_samples / 200)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ConfigurationError):
+            SamplingEstimator(samples=0)
+
+
+class TestExactBDD:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        graph = make_random_graph(seed)
+        terminals = random_terminals(graph, seed + 50, 2 + seed % 3)
+        expected = brute_force_reliability(graph, terminals)
+        assert exact_bdd_reliability(graph, terminals) == pytest.approx(expected, abs=1e-9)
+
+    def test_single_terminal(self, triangle_graph):
+        assert exact_bdd_reliability(triangle_graph, ["b"]) == 1.0
+
+    def test_no_edges(self):
+        graph = UncertainGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        assert exact_bdd_reliability(graph, [0, 1]) == 0.0
+
+    def test_node_budget_enforced(self):
+        graph = random_connected_graph(20, 60, rng=0)
+        with pytest.raises(BDDLimitExceededError):
+            ExactBDD(graph, [0, 5, 10], max_nodes=10).run()
+
+    def test_result_statistics(self, bridge_graph):
+        result = ExactBDD(bridge_graph, [0, 5]).run()
+        assert result.peak_width >= 1
+        assert result.total_nodes >= result.peak_width
+        assert result.layers_processed == bridge_graph.num_edges
+
+    def test_larger_graph_than_brute_force(self):
+        # 40 edges is far beyond 2^40 enumeration but easy for the BDD.
+        graph = path_graph(41, 0.9)
+        assert exact_bdd_reliability(graph, [0, 40]) == pytest.approx(0.9 ** 40)

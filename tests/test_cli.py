@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import _build_config, main
+
+
+class TestArgumentHandling:
+    def test_table2_runs_and_prints(self, capsys):
+        exit_code = main(["table2", "--preset", "quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table 2" in captured.out
+        assert "Karate" in captured.out
+
+    def test_table5_with_overrides(self, capsys):
+        exit_code = main(["table5", "--preset", "quick", "--searches", "1", "--seed", "7"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "extension technique" in captured.out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_preset_and_override_combination(self):
+        class Args:
+            preset = "quick"
+            samples = 77
+            max_width = 33
+            searches = None
+            seed = None
+
+        config = _build_config(Args())
+        assert config.samples == 77
+        assert config.max_width == 33
+        # Untouched fields keep the quick preset's values.
+        assert config.num_searches == 2
+
+    def test_paper_preset_selected(self):
+        class Args:
+            preset = "paper"
+            samples = None
+            max_width = None
+            searches = None
+            seed = None
+
+        config = _build_config(Args())
+        assert config.samples == 10_000
+        assert config.scale == "paper"

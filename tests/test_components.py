@@ -1,0 +1,132 @@
+"""Tests for bridges, articulation points and 2-edge-connected components.
+
+Cross-checked against networkx on random graphs, which is exactly the kind
+of independent oracle the decomposition deserves since the whole extension
+technique rests on it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    decompose_graph,
+    find_articulation_points,
+    find_bridges,
+    two_edge_connected_components,
+)
+from repro.graph.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+def _to_networkx(graph: UncertainGraph) -> nx.MultiGraph:
+    nxg = nx.MultiGraph()
+    nxg.add_nodes_from(graph.vertices())
+    for edge in graph.edges():
+        nxg.add_edge(edge.u, edge.v, key=edge.id)
+    return nxg
+
+
+class TestBridges:
+    def test_path_all_bridges(self):
+        graph = path_graph(5, 0.9)
+        assert len(find_bridges(graph)) == 4
+
+    def test_cycle_has_no_bridges(self):
+        assert find_bridges(cycle_graph(6, 0.9)) == set()
+
+    def test_bridge_graph_fixture(self, bridge_graph):
+        assert find_bridges(bridge_graph) == {3}
+
+    def test_parallel_edges_are_not_bridges(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        assert find_bridges(graph) == {2}
+
+    def test_self_loop_not_a_bridge(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(1, 1, 0.5)
+        assert find_bridges(graph) == {0}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        graph = random_connected_graph(15, 25, rng=seed)
+        nxg = nx.Graph(_to_networkx(graph))
+        expected = set()
+        for u, v in nx.bridges(nxg):
+            for edge in graph.edges_between(u, v):
+                expected.add(edge.id)
+        assert find_bridges(graph) == expected
+
+
+class TestArticulationPoints:
+    def test_path_interior_vertices(self):
+        graph = path_graph(5, 0.9)
+        assert find_articulation_points(graph) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        assert find_articulation_points(cycle_graph(6, 0.9)) == set()
+
+    def test_bridge_graph_fixture(self, bridge_graph):
+        assert find_articulation_points(bridge_graph) == {2, 3}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        graph = random_connected_graph(15, 25, rng=seed)
+        nxg = nx.Graph(_to_networkx(graph))
+        assert find_articulation_points(graph) == set(nx.articulation_points(nxg))
+
+
+class TestTwoEdgeConnectedComponents:
+    def test_cycle_is_one_component(self):
+        components = two_edge_connected_components(cycle_graph(5, 0.9))
+        assert len(components) == 1
+
+    def test_path_gives_singletons(self):
+        components = two_edge_connected_components(path_graph(4, 0.9))
+        assert sorted(len(component) for component in components) == [1, 1, 1, 1]
+
+    def test_bridge_graph_fixture(self, bridge_graph):
+        components = two_edge_connected_components(bridge_graph)
+        assert sorted(sorted(component) for component in components) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_components_partition_vertices(self):
+        for seed in range(5):
+            graph = random_connected_graph(20, 30, rng=seed)
+            components = two_edge_connected_components(graph)
+            all_vertices = [vertex for component in components for vertex in component]
+            assert sorted(all_vertices, key=repr) == sorted(graph.vertices(), key=repr)
+
+
+class TestDecomposition:
+    def test_decompose_bridge_graph(self, bridge_graph):
+        decomposition = decompose_graph(bridge_graph)
+        assert decomposition.bridges == frozenset({3})
+        assert decomposition.articulation_points == frozenset({2, 3})
+        assert decomposition.num_components == 2
+        assert decomposition.component_of[0] != decomposition.component_of[5]
+
+    def test_bridge_tree_edges(self, bridge_graph):
+        decomposition = decompose_graph(bridge_graph)
+        tree_edges = decomposition.bridge_tree_edges(bridge_graph)
+        assert len(tree_edges) == 1
+        ci, cj, bridge_id = tree_edges[0]
+        assert bridge_id == 3
+        assert ci != cj
+
+    def test_bridge_tree_is_forest(self):
+        """Contracting 2ECCs and keeping bridges must yield an acyclic graph."""
+        for seed in range(5):
+            graph = random_connected_graph(18, 24, rng=seed)
+            decomposition = decompose_graph(graph)
+            tree = nx.Graph()
+            tree.add_nodes_from(range(decomposition.num_components))
+            for ci, cj, _ in decomposition.bridge_tree_edges(graph):
+                tree.add_edge(ci, cj)
+            assert nx.is_forest(tree)

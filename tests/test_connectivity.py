@@ -1,0 +1,92 @@
+"""Tests for deterministic connectivity helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.connectivity import (
+    connected_components,
+    is_connected,
+    terminals_connected,
+    terminals_connected_in_world,
+    vertices_reachable_from,
+)
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle_graph):
+        components = connected_components(triangle_graph)
+        assert len(components) == 1
+        assert components[0] == {"a", "b", "c"}
+
+    def test_isolated_vertices_are_components(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_vertex(3)
+        components = connected_components(graph)
+        assert sorted(len(component) for component in components) == [1, 2]
+
+    def test_edge_subset_restriction(self, bridge_graph):
+        # Removing the bridge (edge id 3) splits the graph into two triangles.
+        edge_ids = [eid for eid in bridge_graph.edge_ids() if eid != 3]
+        components = connected_components(bridge_graph, edge_ids=edge_ids)
+        assert sorted(len(component) for component in components) == [3, 3]
+
+    def test_empty_graph_connected(self):
+        assert is_connected(UncertainGraph())
+
+    def test_is_connected(self, bridge_graph):
+        assert is_connected(bridge_graph)
+        bridge_graph.remove_edge(3)
+        assert not is_connected(bridge_graph)
+
+
+class TestTerminalsConnected:
+    def test_single_terminal_always_connected(self, triangle_graph):
+        assert terminals_connected(triangle_graph, ["a"])
+
+    def test_connected_terminals(self, bridge_graph):
+        assert terminals_connected(bridge_graph, [0, 5])
+
+    def test_world_restriction(self, bridge_graph):
+        # Without the bridge, terminals on opposite sides are disconnected.
+        without_bridge = [eid for eid in bridge_graph.edge_ids() if eid != 3]
+        assert not terminals_connected(bridge_graph, [0, 5], edge_ids=without_bridge)
+        assert terminals_connected_in_world(bridge_graph, [0, 2], without_bridge)
+
+    def test_empty_world(self, triangle_graph):
+        assert not terminals_connected(triangle_graph, ["a", "b"], edge_ids=[])
+
+    def test_loops_ignored(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 1, 0.5)
+        graph.add_vertex(2)
+        assert not terminals_connected(graph, [1, 2])
+
+
+class TestReachability:
+    def test_reachable_set(self, bridge_graph):
+        assert vertices_reachable_from(bridge_graph, 0) == {0, 1, 2, 3, 4, 5}
+
+    def test_reachable_with_edge_subset(self, bridge_graph):
+        reachable = vertices_reachable_from(
+            bridge_graph, 0, edge_ids=[eid for eid in bridge_graph.edge_ids() if eid != 3]
+        )
+        assert reachable == {0, 1, 2}
+
+    def test_unknown_source(self, bridge_graph):
+        assert vertices_reachable_from(bridge_graph, 99) == set()
+
+    def test_long_path_does_not_recurse(self):
+        # 5000-vertex path: a recursive DFS would overflow Python's stack.
+        graph = path_graph(5000, 0.9)
+        assert len(vertices_reachable_from(graph, 0)) == 5000
+
+    def test_matches_components_on_random_graphs(self):
+        for seed in range(5):
+            graph = random_connected_graph(12, 20, rng=seed)
+            components = connected_components(graph)
+            assert len(components) == 1
+            assert vertices_reachable_from(graph, 0) == set(graph.vertices())

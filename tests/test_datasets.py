@@ -1,0 +1,89 @@
+"""Tests for the dataset registry and the embedded Karate graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.datasets import (
+    KARATE_EDGES,
+    available_datasets,
+    dataset_spec,
+    karate_club_graph,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph.connectivity import is_connected
+
+
+class TestKarate:
+    def test_edge_and_vertex_counts_match_paper(self):
+        graph = karate_club_graph()
+        assert graph.num_vertices == 34
+        assert graph.num_edges == 78
+        assert graph.average_degree() == pytest.approx(4.59, abs=0.01)
+
+    def test_matches_networkx_reference(self):
+        """The embedded edge list is exactly Zachary's karate club."""
+        reference = nx.karate_club_graph()
+        expected = {(min(u + 1, v + 1), max(u + 1, v + 1)) for u, v in reference.edges()}
+        ours = {(min(u, v), max(u, v)) for u, v in KARATE_EDGES}
+        assert ours == expected
+
+    def test_probabilities_are_valid_and_seeded(self):
+        first = karate_club_graph(rng=42)
+        second = karate_club_graph(rng=42)
+        assert all(0.0 < e.probability <= 1.0 for e in first.edges())
+        assert [e.probability for e in first.edges()] == [
+            e.probability for e in second.edges()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = karate_club_graph(rng=1)
+        b = karate_club_graph(rng=2)
+        assert [e.probability for e in a.edges()] != [e.probability for e in b.edges()]
+
+
+class TestRegistry:
+    def test_all_seven_datasets_registered(self):
+        assert len(available_datasets()) == 7
+        assert set(available_datasets()) == {
+            "karate", "amrv", "dblp1", "dblp2", "tokyo", "nyc", "hitd",
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("nope")
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("karate", scale="giant")
+
+    @pytest.mark.parametrize("key", ["karate", "amrv", "tokyo", "dblp1", "hitd"])
+    def test_bench_scale_datasets_are_connected_and_probabilistic(self, key):
+        graph = load_dataset(key)
+        assert is_connected(graph)
+        assert all(0.0 < edge.probability <= 1.0 for edge in graph.edges())
+
+    def test_loads_are_reproducible(self):
+        a = load_dataset("tokyo")
+        b = load_dataset("tokyo")
+        assert a.num_edges == b.num_edges
+        assert sorted(a.to_edge_list()) == sorted(b.to_edge_list())
+
+    def test_specs_carry_paper_statistics(self):
+        spec = dataset_spec("hitd")
+        assert spec.paper.vertices == 18_256
+        assert spec.paper.edges == 248_770
+        assert spec.kind == "Protein"
+
+    def test_structural_shape_of_substitutes(self):
+        road = load_dataset("tokyo")
+        protein = load_dataset("hitd")
+        affiliation = load_dataset("amrv")
+        # Road networks are sparse, protein networks dense, affiliation tiny.
+        assert road.average_degree() < 3.5
+        assert protein.average_degree() > 15.0
+        assert affiliation.num_vertices == pytest.approx(141, abs=5)

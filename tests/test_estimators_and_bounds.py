@@ -1,0 +1,141 @@
+"""Tests for the estimators (MC / HT) and the reliability bounds object."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import ReliabilityBounds
+from repro.core.estimators import (
+    EstimatorKind,
+    horvitz_thompson_estimate,
+    inclusion_probability,
+    monte_carlo_estimate,
+)
+from repro.exceptions import ConfigurationError, EstimatorError
+
+
+class TestEstimatorKind:
+    def test_coerce_from_string(self):
+        assert EstimatorKind.coerce("mc") is EstimatorKind.MONTE_CARLO
+        assert EstimatorKind.coerce("HT") is EstimatorKind.HORVITZ_THOMPSON
+
+    def test_coerce_passthrough(self):
+        assert EstimatorKind.coerce(EstimatorKind.MONTE_CARLO) is EstimatorKind.MONTE_CARLO
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorKind.coerce("bogus")
+
+
+class TestMonteCarlo:
+    def test_mean_of_indicators(self):
+        assert monte_carlo_estimate([True, False, True, True]) == pytest.approx(0.75)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EstimatorError):
+            monte_carlo_estimate([])
+
+
+class TestInclusionProbability:
+    def test_formula(self):
+        assert inclusion_probability(0.5, 2) == pytest.approx(0.75)
+
+    def test_extremes(self):
+        assert inclusion_probability(0.0, 10) == 0.0
+        assert inclusion_probability(1.0, 10) == 1.0
+
+    def test_tiny_probability_stays_positive(self):
+        pi = inclusion_probability(1e-300, 1000)
+        assert pi > 0.0
+        assert pi == pytest.approx(1000 * 1e-300, rel=1e-6)
+
+    def test_requires_positive_samples(self):
+        with pytest.raises(ConfigurationError):
+            inclusion_probability(0.5, 0)
+
+    @given(st.floats(1e-9, 1.0), st.integers(1, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_samples(self, probability, samples):
+        assert (
+            inclusion_probability(probability, samples)
+            <= inclusion_probability(probability, samples + 1) + 1e-12
+        )
+
+
+class TestHorvitzThompson:
+    def test_full_enumeration_recovers_exact_value(self):
+        # If every world is "sampled", HT reduces to the exact sum when each
+        # inclusion probability is 1 (take s large so pi ~ 1).
+        worlds = [(0.25, True), (0.25, False), (0.25, True), (0.25, False)]
+        estimate = horvitz_thompson_estimate(worlds, samples=10_000)
+        assert estimate == pytest.approx(0.5, rel=1e-3)
+
+    def test_deduplication(self):
+        worlds = [(0.3, True), (0.3, True)]
+        keys = ["w1", "w1"]
+        with_dup = horvitz_thompson_estimate(worlds, samples=100)
+        without_dup = horvitz_thompson_estimate(worlds, samples=100, deduplicate_keys=keys)
+        assert without_dup <= with_dup
+
+    def test_dedup_key_mismatch_rejected(self):
+        with pytest.raises(EstimatorError):
+            horvitz_thompson_estimate([(0.3, True)], 10, deduplicate_keys=["a", "b"])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EstimatorError):
+            horvitz_thompson_estimate([], samples=10)
+
+    def test_clamped_to_unit_interval(self):
+        worlds = [(0.9, True), (0.9, True), (0.9, True)]
+        assert horvitz_thompson_estimate(worlds, samples=1) <= 1.0
+
+
+class TestReliabilityBounds:
+    def test_lower_and_upper(self):
+        bounds = ReliabilityBounds(0.3, 0.2)
+        assert bounds.lower == pytest.approx(0.3)
+        assert bounds.upper == pytest.approx(0.8)
+        assert bounds.unresolved_mass == pytest.approx(0.5)
+        assert bounds.width == pytest.approx(0.5)
+
+    def test_exactness(self):
+        assert ReliabilityBounds(0.4, 0.6).is_exact()
+        assert not ReliabilityBounds(0.4, 0.5).is_exact()
+
+    def test_clamp(self):
+        bounds = ReliabilityBounds(0.3, 0.2)
+        assert bounds.clamp(0.1) == pytest.approx(0.3)
+        assert bounds.clamp(0.95) == pytest.approx(0.8)
+        assert bounds.clamp(0.5) == pytest.approx(0.5)
+
+    def test_invalid_masses_rejected(self):
+        with pytest.raises(EstimatorError):
+            ReliabilityBounds(0.7, 0.6)
+        with pytest.raises(EstimatorError):
+            ReliabilityBounds(-0.1, 0.0)
+
+    def test_combine_products(self):
+        left = ReliabilityBounds(0.5, 0.25)   # [0.5, 0.75]
+        right = ReliabilityBounds(0.4, 0.4)   # [0.4, 0.6]
+        combined = left.combine(right)
+        assert combined.lower == pytest.approx(0.2)
+        assert combined.upper == pytest.approx(0.45)
+
+    def test_scaled(self):
+        bounds = ReliabilityBounds(0.5, 0.25).scaled(0.5)
+        assert bounds.lower == pytest.approx(0.25)
+        assert bounds.upper == pytest.approx(0.375)
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(EstimatorError):
+            ReliabilityBounds(0.5, 0.25).scaled(1.5)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_are_ordered(self, p_c, p_d):
+        if p_c + p_d > 1.0:
+            return
+        bounds = ReliabilityBounds(p_c, p_d)
+        assert bounds.lower <= bounds.upper + 1e-12

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness: metrics, tables, config, workloads,
+and (smoke-level) the runners themselves on tiny configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import accuracy_metrics, error_rate, variance
+from repro.experiments.runners import (
+    run_ablation_heuristic,
+    run_ablation_ordering,
+    run_figure4,
+    run_figure5,
+    run_table2,
+    run_table5,
+)
+from repro.experiments.tables import Table, format_table
+from repro.experiments.workloads import DatasetCache, generate_searches
+
+
+class TestMetrics:
+    def test_variance_zero_for_perfect_estimates(self):
+        assert variance([0.5, 0.2], [[0.5, 0.5], [0.2, 0.2]]) == 0.0
+
+    def test_variance_value(self):
+        assert variance([0.5], [[0.4, 0.6]]) == pytest.approx(0.01)
+
+    def test_error_rate_value(self):
+        assert error_rate([0.5], [[0.4, 0.6]]) == pytest.approx(0.2)
+
+    def test_error_rate_skips_zero_exact(self):
+        assert error_rate([0.0], [[0.1]]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            variance([0.5], [[0.4], [0.6]])
+
+    def test_accuracy_metrics_bundle(self):
+        metrics = accuracy_metrics([0.5, 0.25], [[0.5], [0.25]])
+        assert metrics.variance == 0.0
+        assert metrics.error_rate == 0.0
+        assert metrics.num_searches == 2
+        assert metrics.num_repeats == 1
+
+
+class TestTables:
+    def test_add_row_and_render(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 0.53)
+        table.add_note("a note")
+        rendered = format_table(table)
+        assert "Demo" in rendered
+        assert "0.53" in rendered
+        assert "note" in rendered
+
+    def test_wrong_arity_rejected(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_formatting_of_special_values(self):
+        table = Table("Demo", ["x"])
+        table.add_row(None)
+        table.add_row(0.0)
+        table.add_row(1.25e-7)
+        rendered = table.render()
+        assert "-" in rendered
+        assert "e-07" in rendered
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.samples > 0
+
+    def test_presets(self):
+        assert ExperimentConfig.quick().samples < ExperimentConfig().samples
+        assert ExperimentConfig.paper().samples == 10_000
+
+    def test_overrides(self):
+        config = ExperimentConfig().with_overrides(samples=123, seed=9)
+        assert config.samples == 123
+        assert config.seed == 9
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(samples=0)
+
+
+class TestWorkloads:
+    def test_search_generation_is_reproducible(self):
+        graph = load_dataset("karate")
+        first = generate_searches(graph, "karate", 5, 3, seed=1)
+        second = generate_searches(graph, "karate", 5, 3, seed=1)
+        assert [s.terminals for s in first] == [s.terminals for s in second]
+        assert all(search.k == 5 for search in first)
+
+    def test_require_connected(self):
+        graph = load_dataset("amrv")
+        searches = generate_searches(
+            graph, "amrv", 3, 4, seed=2, require_connected=True
+        )
+        assert len(searches) == 4
+
+    def test_dataset_cache_reuses_objects(self):
+        cache = DatasetCache()
+        assert cache.graph("karate") is cache.graph("karate")
+        assert cache.decomposition("karate") is cache.decomposition("karate")
+
+
+class TestRunnersSmoke:
+    """Smoke tests on the smallest sensible configurations."""
+
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        return ExperimentConfig(
+            samples=50,
+            max_width=64,
+            num_terminals=(3,),
+            num_searches=1,
+            accuracy_searches=1,
+            accuracy_repeats=1,
+            large_datasets=("tokyo",),
+            small_datasets=("karate",),
+        )
+
+    def test_table2(self, tiny_config):
+        table = run_table2(tiny_config)
+        assert len(table.rows) == len(tiny_config.small_datasets) + len(tiny_config.large_datasets)
+
+    def test_table5(self, tiny_config):
+        table = run_table5(tiny_config)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            reduction = row[2]
+            assert 0.0 <= reduction <= 1.0
+
+    def test_figure4(self, tiny_config):
+        table = run_figure4(tiny_config, sample_grid=(50,), datasets=("tokyo",), num_terminals=3)
+        assert len(table.rows) == 1
+        assert table.rows[0][1] == 50
+
+    def test_figure5(self, tiny_config):
+        table = run_figure5(tiny_config, width_grid=(32, 64), datasets=("tokyo",), num_terminals=3)
+        assert len(table.rows) == 2
+        # Peak nodes must never exceed the width cap.
+        for row in table.rows:
+            assert row[2] <= row[1]
+
+    def test_ablations(self, tiny_config):
+        heuristic = run_ablation_heuristic(tiny_config, dataset="tokyo", num_terminals=3)
+        ordering = run_ablation_ordering(tiny_config, dataset="tokyo", num_terminals=3)
+        assert len(heuristic.rows) == 2
+        assert len(ordering.rows) == 4

@@ -1,0 +1,155 @@
+"""Tests for the synthetic graph generators and probability models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+from repro.graph.connectivity import is_connected
+from repro.graph.generators import (
+    affiliation_graph,
+    coauthorship_graph,
+    cycle_graph,
+    path_graph,
+    protein_interaction_graph,
+    random_connected_graph,
+    road_network_graph,
+    series_parallel_graph,
+    star_graph,
+)
+from repro.graph.probability_models import (
+    assign_attribute_probabilities,
+    assign_interaction_scores,
+    assign_uniform_probabilities,
+    attribute_probability,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+class TestElementaryTopologies:
+    def test_path(self):
+        graph = path_graph(5, 0.8)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 4
+
+    def test_cycle(self):
+        graph = cycle_graph(6, 0.8)
+        assert graph.num_vertices == 6
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2, 0.8)
+
+    def test_star(self):
+        graph = star_graph(4, 0.8)
+        assert graph.degree(0) == 4
+        assert graph.num_edges == 4
+
+    def test_series_parallel(self):
+        graph = series_parallel_graph(2, 3, 0.8)
+        # Each stage contributes `width` middle vertices and 2*width edges.
+        assert graph.num_edges == 2 * 3 * 2
+        assert is_connected(graph)
+
+
+class TestRandomConnectedGraph:
+    def test_connected_and_sized(self):
+        graph = random_connected_graph(10, 15, rng=0)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 15
+        assert is_connected(graph)
+
+    def test_reproducible(self):
+        first = random_connected_graph(8, 12, rng=3)
+        second = random_connected_graph(8, 12, rng=3)
+        assert sorted(first.to_edge_list()) == sorted(second.to_edge_list())
+
+    def test_edge_count_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            random_connected_graph(5, 3, rng=0)   # below spanning tree
+        with pytest.raises(ConfigurationError):
+            random_connected_graph(5, 11, rng=0)  # above complete graph
+
+    def test_no_parallel_edges(self):
+        graph = random_connected_graph(10, 20, rng=1)
+        pairs = {tuple(sorted((e.u, e.v))) for e in graph.edges()}
+        assert len(pairs) == graph.num_edges
+
+
+class TestDatasetFamilyGenerators:
+    def test_coauthorship_is_connected_with_valid_probabilities(self):
+        graph = coauthorship_graph(120, rng=0)
+        assert is_connected(graph)
+        assert all(0.0 < e.probability <= 1.0 for e in graph.edges())
+
+    def test_road_network_low_degree(self):
+        graph = road_network_graph(8, 8, rng=0)
+        assert is_connected(graph)
+        assert graph.average_degree() < 3.5
+
+    def test_road_network_invalid_subdivide(self):
+        with pytest.raises(ConfigurationError):
+            road_network_graph(4, 4, subdivide=-1)
+
+    def test_protein_graph_is_dense(self):
+        graph = protein_interaction_graph(80, average_degree=12.0, rng=0)
+        assert is_connected(graph)
+        assert graph.average_degree() > 8.0
+
+    def test_affiliation_graph_is_bipartite_and_sparse(self):
+        graph = affiliation_graph(60, 20, rng=0)
+        assert is_connected(graph)
+        # People are 0..59, organizations 60..79; person-person edges must not exist.
+        for edge in graph.edges():
+            assert (edge.u < 60) != (edge.v < 60)
+
+    def test_generators_reproducible(self):
+        a = road_network_graph(6, 6, rng=11)
+        b = road_network_graph(6, 6, rng=11)
+        assert sorted(a.to_edge_list()) == sorted(b.to_edge_list())
+
+
+class TestProbabilityModels:
+    def test_uniform_assignment_in_range(self, triangle_graph):
+        assign_uniform_probabilities(triangle_graph, low=0.2, high=0.8, rng=0)
+        assert all(0.2 <= e.probability <= 0.8 for e in triangle_graph.edges())
+
+    def test_uniform_rejects_bad_range(self, triangle_graph):
+        with pytest.raises(InvalidProbabilityError):
+            assign_uniform_probabilities(triangle_graph, low=0.9, high=0.1)
+
+    def test_attribute_probability_monotone(self):
+        low = attribute_probability(1, 100)
+        high = attribute_probability(50, 100)
+        maximum = attribute_probability(100, 100)
+        assert 0.0 < low < high < maximum <= 1.0
+
+    def test_attribute_probability_zero_attribute_still_positive(self):
+        assert attribute_probability(0, 100) > 0.0
+
+    def test_attribute_probability_rejects_negative(self):
+        with pytest.raises(InvalidProbabilityError):
+            attribute_probability(-1, 10)
+        with pytest.raises(InvalidProbabilityError):
+            attribute_probability(5, 4)
+
+    def test_assign_attribute_probabilities(self, triangle_graph):
+        attributes = {eid: float(eid + 1) for eid in triangle_graph.edge_ids()}
+        assign_attribute_probabilities(triangle_graph, attributes)
+        probabilities = [triangle_graph.probability(eid) for eid in sorted(triangle_graph.edge_ids())]
+        assert probabilities == sorted(probabilities)
+
+    def test_assign_attribute_probabilities_missing_edge(self, triangle_graph):
+        with pytest.raises(InvalidProbabilityError):
+            assign_attribute_probabilities(triangle_graph, {0: 1.0})
+
+    def test_assign_interaction_scores(self, triangle_graph):
+        scores = {eid: 0.42 for eid in triangle_graph.edge_ids()}
+        assign_interaction_scores(triangle_graph, scores)
+        assert all(e.probability == pytest.approx(0.42) for e in triangle_graph.edges())
+
+    def test_assign_interaction_scores_missing(self, triangle_graph):
+        with pytest.raises(InvalidProbabilityError):
+            assign_interaction_scores(triangle_graph, {})

@@ -1,0 +1,70 @@
+"""Tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+class TestParsing:
+    def test_basic_parse(self):
+        graph = parse_edge_list(["1 2 0.5", "2 3 0.7"])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.probability(0) == pytest.approx(0.5)
+
+    def test_comments_and_blank_lines_skipped(self):
+        graph = parse_edge_list(["# header", "% konect style", "", "1 2 0.4"])
+        assert graph.num_edges == 1
+
+    def test_missing_probability_defaults_to_one(self):
+        graph = parse_edge_list(["1 2"])
+        assert graph.probability(0) == pytest.approx(1.0)
+
+    def test_integer_labels_converted(self):
+        graph = parse_edge_list(["1 2 0.5"])
+        assert set(graph.vertices()) == {1, 2}
+
+    def test_string_labels_preserved(self):
+        graph = parse_edge_list(["alice bob 0.5", "bob carol 0.6"])
+        assert "alice" in set(graph.vertices())
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["justonevalue"])
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["1 2 notanumber"])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["# nothing here"])
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(triangle_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == triangle_graph.num_vertices
+        assert loaded.num_edges == triangle_graph.num_edges
+        original = sorted(
+            (repr(u), repr(v), round(p, 9)) for u, v, p in triangle_graph.to_edge_list()
+        )
+        reloaded = sorted(
+            (repr(u), repr(v), round(p, 9)) for u, v, p in loaded.to_edge_list()
+        )
+        assert original == reloaded
+
+    def test_write_to_stream(self, triangle_graph):
+        buffer = io.StringIO()
+        write_edge_list(triangle_graph, buffer)
+        content = buffer.getvalue()
+        assert "vertices=3" in content
+        assert len(content.strip().splitlines()) == 2 + triangle_graph.num_edges

@@ -1,0 +1,97 @@
+"""Tests for possible-world enumeration, sampling and probabilities."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.possible_world import (
+    enumerate_possible_worlds,
+    sample_possible_world,
+    world_log_probability,
+    world_probability,
+    world_probability_exact,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+class TestWorldProbability:
+    def test_all_edges_present(self, triangle_graph):
+        probability = world_probability(triangle_graph, triangle_graph.edge_ids())
+        assert probability == pytest.approx(0.9 * 0.8 * 0.7)
+
+    def test_no_edges_present(self, triangle_graph):
+        probability = world_probability(triangle_graph, [])
+        assert probability == pytest.approx(0.1 * 0.2 * 0.3)
+
+    def test_log_probability_consistent(self, triangle_graph):
+        linear = world_probability(triangle_graph, [0, 2])
+        logarithmic = world_log_probability(triangle_graph, [0, 2])
+        assert math.exp(logarithmic) == pytest.approx(linear)
+
+    def test_exact_probability_matches_float(self, triangle_graph):
+        exact = world_probability_exact(triangle_graph, [0])
+        approx = world_probability(triangle_graph, [0])
+        assert float(exact) == pytest.approx(approx)
+
+
+class TestEnumeration:
+    def test_number_of_worlds(self, triangle_graph):
+        worlds = list(enumerate_possible_worlds(triangle_graph))
+        assert len(worlds) == 2 ** 3
+
+    def test_probabilities_sum_to_one(self, triangle_graph):
+        worlds = list(enumerate_possible_worlds(triangle_graph))
+        total_float = sum(world.probability for world, _ in worlds)
+        total_exact = sum(exact for _, exact in worlds)
+        assert total_float == pytest.approx(1.0)
+        assert total_exact == Fraction(1)
+
+    def test_refuses_large_graphs(self):
+        graph = UncertainGraph()
+        for i in range(30):
+            graph.add_edge(i, i + 1, 0.5)
+        with pytest.raises(ValueError):
+            list(enumerate_possible_worlds(graph))
+
+    def test_indicator_on_world(self, triangle_graph):
+        for world, _ in enumerate_possible_worlds(triangle_graph):
+            connected = world.terminals_connected(triangle_graph, ["a", "b"])
+            # a and b are connected iff edge 0 exists or both edges 1 and 2 exist.
+            expected = world.contains_edge(0) or (
+                world.contains_edge(1) and world.contains_edge(2)
+            )
+            assert connected == expected
+
+
+class TestSampling:
+    def test_sample_is_reproducible(self, triangle_graph):
+        first = sample_possible_world(triangle_graph, rng=5)
+        second = sample_possible_world(triangle_graph, rng=5)
+        assert first.existing_edges == second.existing_edges
+
+    def test_sample_probability_matches_world(self, triangle_graph):
+        world = sample_possible_world(triangle_graph, rng=1)
+        assert world.probability == pytest.approx(
+            world_probability(triangle_graph, world.existing_edges)
+        )
+
+    def test_empirical_edge_frequency(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.3)])
+        hits = sum(
+            1
+            for seed in range(2000)
+            if sample_possible_world(graph, rng=seed).contains_edge(0)
+        )
+        assert hits / 2000 == pytest.approx(0.3, abs=0.05)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_total_probability_property(self, p1, p2):
+        graph = UncertainGraph.from_edge_list([(0, 1, p1), (1, 2, p2)])
+        total = sum(world.probability for world, _ in enumerate_possible_worlds(graph))
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,211 @@
+"""Tests for the extension technique: prune, decompose, transform, pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_reliability
+from repro.exceptions import PreprocessError
+from repro.graph.generators import cycle_graph, path_graph, series_parallel_graph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.preprocess.decompose import decompose
+from repro.preprocess.pipeline import preprocess
+from repro.preprocess.prune import prune
+from repro.preprocess.transform import transform
+from tests.conftest import make_random_graph, random_terminals
+
+
+class TestPrune:
+    def test_dangling_branch_removed(self, path_with_dangling):
+        pruned = prune(path_with_dangling, [0, 3])
+        assert not pruned.has_vertex(4)
+        assert not pruned.has_vertex(5)
+        assert pruned.num_edges == 3
+
+    def test_everything_kept_when_needed(self, bridge_graph):
+        pruned = prune(bridge_graph, [0, 5])
+        assert pruned.num_edges == bridge_graph.num_edges
+
+    def test_single_component_with_terminals(self, triangle_graph):
+        pruned = prune(triangle_graph, ["a", "b"])
+        assert pruned.num_edges == 3
+
+    def test_single_terminal_reduces_to_vertex(self, bridge_graph):
+        pruned = prune(bridge_graph, [0])
+        assert pruned.num_vertices == 1
+        assert pruned.num_edges == 0
+
+    def test_disconnected_terminals_raise(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.5), (2, 3, 0.5)])
+        with pytest.raises(PreprocessError):
+            prune(graph, [0, 3])
+
+    def test_prune_preserves_reliability(self):
+        for seed in range(5):
+            graph = make_random_graph(seed, num_vertices=8, num_edges=10)
+            terminals = random_terminals(graph, seed, 2)
+            pruned = prune(graph, terminals)
+            assert brute_force_reliability(pruned, terminals) == pytest.approx(
+                brute_force_reliability(graph, terminals), abs=1e-9
+            )
+
+    def test_pass_through_component_kept_by_prune_dropped_by_pipeline(self):
+        # Path 0-1-2 with terminals {0, 2} and a triangle hanging off vertex 1.
+        # The triangle's 2ECC contains the pass-through vertex 1, so the prune
+        # phase keeps it; the decompose phase then discards it because it holds
+        # fewer than two required vertices, leaving a purely deterministic
+        # answer p(0,1) * p(1,2).
+        graph = UncertainGraph.from_edge_list(
+            [(0, 1, 0.9), (1, 2, 0.9), (1, 3, 0.9), (3, 4, 0.9), (4, 1, 0.9)]
+        )
+        pruned = prune(graph, [0, 2])
+        assert pruned.num_edges == graph.num_edges
+        result = preprocess(graph, [0, 2])
+        assert result.subproblems == []
+        assert result.deterministic_reliability() == pytest.approx(0.81)
+
+    def test_dangling_side_branch_of_bridge_tree_removed(self):
+        # Same shape, but the triangle hangs off a vertex *outside* the
+        # terminal path, so pruning alone removes it.
+        graph = UncertainGraph.from_edge_list(
+            [(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9), (3, 4, 0.9), (4, 2, 0.9)]
+        )
+        pruned = prune(graph, [0, 1])
+        assert pruned.num_edges == 1
+        assert not pruned.has_vertex(3)
+
+
+class TestDecompose:
+    def test_bridge_split(self, bridge_graph):
+        result = decompose(bridge_graph, [0, 5])
+        assert result.bridge_probability == pytest.approx(0.6)
+        assert result.num_bridges == 1
+        assert len(result.subproblems) == 2
+        # Bridge endpoints become terminals of their components.
+        for subgraph, terminals in result.subproblems:
+            assert len(terminals) == 2
+            assert subgraph.num_edges == 3
+
+    def test_no_bridges_single_subproblem(self, triangle_graph):
+        result = decompose(triangle_graph, ["a", "c"])
+        assert result.bridge_probability == pytest.approx(1.0)
+        assert len(result.subproblems) == 1
+
+    def test_pure_path_decomposes_away(self):
+        graph = path_graph(4, 0.5)
+        result = decompose(graph, [0, 3])
+        assert result.bridge_probability == pytest.approx(0.125)
+        assert result.subproblems == []
+
+    def test_factorisation_identity(self, bridge_graph):
+        """R[G] = p_b * prod_i R[G_i, T_i] (Lemma 5.1)."""
+        expected = brute_force_reliability(bridge_graph, [0, 5])
+        result = decompose(bridge_graph, [0, 5])
+        product = result.bridge_probability
+        for subgraph, terminals in result.subproblems:
+            product *= brute_force_reliability(subgraph, terminals)
+        assert product == pytest.approx(expected, abs=1e-9)
+
+
+class TestTransform:
+    def test_series_reduction(self):
+        graph = path_graph(3, 0.5)  # 0-1-2 with middle vertex degree 2
+        reduced, stats = transform(graph, [0, 2])
+        assert reduced.num_edges == 1
+        assert stats.series_reductions == 1
+        edge = next(iter(reduced.edges()))
+        assert edge.probability == pytest.approx(0.25)
+
+    def test_parallel_reduction(self):
+        graph = UncertainGraph()
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(0, 1, 0.5)
+        reduced, stats = transform(graph, [0, 1])
+        assert reduced.num_edges == 1
+        assert stats.parallel_reductions == 1
+        edge = next(iter(reduced.edges()))
+        assert edge.probability == pytest.approx(0.75)
+
+    def test_loop_removed(self):
+        graph = UncertainGraph()
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(0, 0, 0.9)
+        reduced, stats = transform(graph, [0, 1])
+        assert reduced.num_edges == 1
+        assert stats.loops_removed == 1
+
+    def test_terminal_vertices_never_contracted(self):
+        graph = path_graph(3, 0.5)
+        reduced, _ = transform(graph, [0, 1, 2])
+        assert reduced.num_vertices == 3
+        assert reduced.num_edges == 2
+
+    def test_series_parallel_collapses_to_single_edge(self):
+        graph = series_parallel_graph(1, 3, 0.5)
+        reduced, _ = transform(graph, [0, 1])
+        assert reduced.num_edges == 1
+        # Three parallel two-edge paths, each passes with 0.25.
+        edge = next(iter(reduced.edges()))
+        assert edge.probability == pytest.approx(1 - 0.75 ** 3)
+
+    def test_cycle_between_terminals_reduces_to_parallel(self):
+        graph = cycle_graph(6, 0.5)
+        reduced, _ = transform(graph, [0, 3])
+        assert reduced.num_edges == 1
+        assert next(iter(reduced.edges())).probability == pytest.approx(1 - (1 - 0.125) ** 2)
+
+    def test_transform_preserves_reliability(self):
+        for seed in range(6):
+            graph = make_random_graph(seed, num_vertices=8, num_edges=11)
+            terminals = random_terminals(graph, seed + 7, 2)
+            reduced, _ = transform(graph, terminals)
+            assert brute_force_reliability(reduced, terminals) == pytest.approx(
+                brute_force_reliability(graph, terminals), abs=1e-9
+            )
+
+    def test_original_graph_untouched(self):
+        graph = path_graph(4, 0.5)
+        transform(graph, [0, 3])
+        assert graph.num_edges == 3
+
+
+class TestPipeline:
+    def test_full_pipeline_identity(self, bridge_graph):
+        expected = brute_force_reliability(bridge_graph, [0, 5])
+        result = preprocess(bridge_graph, [0, 5])
+        product = result.bridge_probability
+        for subproblem in result.subproblems:
+            product *= brute_force_reliability(subproblem.graph, subproblem.terminals)
+        assert product == pytest.approx(expected, abs=1e-9)
+
+    def test_trivial_one_for_single_terminal(self, bridge_graph):
+        result = preprocess(bridge_graph, [3])
+        assert result.trivially_one
+        assert result.deterministic_reliability() == 1.0
+
+    def test_trivial_zero_for_disconnected(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.5), (2, 3, 0.5)])
+        result = preprocess(graph, [0, 3])
+        assert result.trivially_zero
+        assert result.deterministic_reliability() == 0.0
+
+    def test_pure_tree_is_deterministic(self):
+        graph = path_graph(5, 0.5)
+        result = preprocess(graph, [0, 4])
+        assert result.subproblems == []
+        assert result.deterministic_reliability() == pytest.approx(0.5 ** 4)
+
+    def test_reduction_ratio(self, path_with_dangling):
+        result = preprocess(path_with_dangling, [0, 3])
+        assert 0.0 <= result.reduction_ratio <= 1.0
+        # The whole query is a path: everything decomposes away.
+        assert result.reduction_ratio == 0.0
+
+    def test_without_transform(self, bridge_graph):
+        with_transform = preprocess(bridge_graph, [0, 5], apply_transform=True)
+        without_transform = preprocess(bridge_graph, [0, 5], apply_transform=False)
+        assert without_transform.reduced_edges >= with_transform.reduced_edges
+
+    def test_elapsed_time_recorded(self, bridge_graph):
+        result = preprocess(bridge_graph, [0, 5])
+        assert result.elapsed_seconds >= 0.0

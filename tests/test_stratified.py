@@ -1,0 +1,120 @@
+"""Tests for the Theorem-1 / Theorem-2 sample-count reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.stratified import (
+    plain_variance,
+    reduced_sample_count,
+    reduction_rate,
+    stratified_variance,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTheoremCases:
+    def test_no_bounds_no_reduction(self):
+        assert reduced_sample_count(1000, 0.0, 0.0) == 1000
+
+    def test_only_upper_bound(self):
+        # p_c = 0: s' = floor(s (1 - p_d))
+        assert reduced_sample_count(1000, 0.0, 0.4) == 600
+
+    def test_only_lower_bound(self):
+        # p_d = 0: s' = floor(s (1 - p_c))
+        assert reduced_sample_count(1000, 0.25, 0.0) == 750
+
+    def test_equal_bounds(self):
+        # p_c = p_d = 0.25: s' = floor(s (1 - 4 * 0.25 * 0.75)) = floor(0.25 s)
+        assert reduced_sample_count(1000, 0.25, 0.25) == 250
+
+    def test_lower_smaller_than_upper_mass(self):
+        # p_c < p_d: s' = floor(s (1 - 4 p_c (1 - p_d)))
+        assert reduced_sample_count(1000, 0.1, 0.3) == pytest.approx(
+            int(1000 * (1 - 4 * 0.1 * 0.7))
+        )
+
+    def test_lower_greater_than_upper_mass(self):
+        # p_c > p_d: s' = floor(s (1 - min(4 p_c (1 - p_c), 4 p_d (1 - p_c))))
+        p_c, p_d, s = 0.4, 0.2, 1000
+        option_a = 4 * p_c * (1 - p_c)
+        option_b = 4 * (p_c * (1 - p_d) + (p_d - p_c))
+        expected = int(s * (1 - min(option_a, option_b)))
+        assert reduced_sample_count(s, p_c, p_d) == expected
+
+    def test_exact_bounds_need_no_samples(self):
+        assert reduced_sample_count(1000, 0.7, 0.3) == 0
+        assert reduced_sample_count(1000, 1.0, 0.0) == 0
+        assert reduced_sample_count(1000, 0.0, 1.0) == 0
+
+    def test_zero_budget(self):
+        assert reduced_sample_count(0, 0.2, 0.3) == 0
+
+    def test_invalid_masses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduced_sample_count(100, 0.7, 0.7)
+
+    def test_reduction_rate(self):
+        assert reduction_rate(1000, 0.0, 0.4) == pytest.approx(0.6)
+        assert reduction_rate(0, 0.0, 0.4) == 1.0
+
+
+class TestTheoremProperties:
+    @given(
+        st.integers(1, 100_000),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_reduced_count_within_budget(self, samples, p_c, p_d):
+        assume(p_c + p_d <= 1.0)
+        reduced = reduced_sample_count(samples, p_c, p_d)
+        assert 0 <= reduced <= samples
+
+    @given(
+        st.integers(1, 10_000),
+        st.floats(0.0, 0.999),
+        st.floats(0.0, 0.999),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_stratified_variance_never_worse(self, samples, p_c, p_d, reliability):
+        """The variance the theorem guarantees: stratified sampling with the
+        (un-floored) reduced count is no worse than plain Monte Carlo with
+        ``s`` samples whenever the true reliability is compatible with the
+        bounds.  Theorem 1 floors ``s'``, which can cost a fraction of one
+        sample, hence the ``reduced + 1`` in the check."""
+        assume(p_c + p_d < 1.0)
+        reliability = p_c + reliability * (1.0 - p_c - p_d)
+        reduced = reduced_sample_count(samples, p_c, p_d)
+        if reduced == 0:
+            return
+        assert stratified_variance(reliability, p_c, p_d, reduced + 1) <= (
+            plain_variance(reliability, samples) + 1e-12
+        )
+
+    @given(st.integers(1, 10_000), st.floats(0.0, 0.49))
+    @settings(max_examples=100, deadline=None)
+    def test_tighter_bounds_never_need_more_samples(self, samples, mass):
+        loose = reduced_sample_count(samples, mass / 2, mass / 2)
+        tight = reduced_sample_count(samples, mass, mass)
+        assert tight <= loose
+
+
+class TestVarianceFormulas:
+    def test_plain_variance_formula(self):
+        assert plain_variance(0.5, 100) == pytest.approx(0.0025)
+
+    def test_plain_variance_zero_samples(self):
+        assert plain_variance(0.5, 0) == float("inf")
+
+    def test_stratified_variance_zero_when_exact(self):
+        assert stratified_variance(0.5, 0.5, 0.5, 0) == 0.0
+
+    def test_stratified_leq_plain_for_same_samples(self):
+        plain = plain_variance(0.5, 100)
+        stratified = stratified_variance(0.5, 0.2, 0.2, 100)
+        assert stratified <= plain

@@ -1,0 +1,180 @@
+"""Tests for the UncertainGraph data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    InvalidProbabilityError,
+    TerminalError,
+    VertexNotFoundError,
+)
+from repro.graph.uncertain_graph import Edge, UncertainGraph
+
+
+class TestEdge:
+    def test_other_endpoint(self):
+        edge = Edge(0, "a", "b", 0.5)
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(GraphError):
+            Edge(0, "a", "b", 0.5).other("c")
+
+    def test_loop_detection(self):
+        assert Edge(0, "a", "a", 0.5).is_loop()
+        assert not Edge(0, "a", "b", 0.5).is_loop()
+
+    def test_endpoints(self):
+        assert Edge(3, 1, 2, 0.4).endpoints == (1, 2)
+
+
+class TestConstruction:
+    def test_add_edge_creates_vertices(self):
+        graph = UncertainGraph()
+        graph.add_edge("x", "y", 0.5)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+
+    def test_edge_ids_are_stable_and_unique(self, triangle_graph):
+        assert sorted(triangle_graph.edge_ids()) == [0, 1, 2]
+
+    def test_explicit_edge_id(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5, edge_id=10)
+        next_id = graph.add_edge(2, 3, 0.5)
+        assert next_id == 11
+
+    def test_duplicate_edge_id_rejected(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5, edge_id=0)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 3, 0.5, edge_id=0)
+
+    def test_invalid_probability_rejected(self):
+        graph = UncertainGraph()
+        with pytest.raises(InvalidProbabilityError):
+            graph.add_edge(1, 2, 0.0)
+        with pytest.raises(InvalidProbabilityError):
+            graph.add_edge(1, 2, 1.5)
+
+    def test_parallel_edges_and_loops_allowed(self):
+        graph = UncertainGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(1, 2, 0.6)
+        graph.add_edge(1, 1, 0.7)
+        assert graph.num_edges == 3
+        assert len(graph.edges_between(1, 2)) == 2
+        assert graph.degree(1) == 3  # loop counted once
+
+    def test_add_isolated_vertex(self):
+        graph = UncertainGraph()
+        graph.add_vertex("lonely")
+        assert graph.has_vertex("lonely")
+        assert graph.degree("lonely") == 0
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle_graph):
+        edge = triangle_graph.remove_edge(0)
+        assert edge.id == 0
+        assert triangle_graph.num_edges == 2
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.edge(0)
+
+    def test_remove_vertex_removes_incident_edges(self, triangle_graph):
+        triangle_graph.remove_vertex("b")
+        assert triangle_graph.num_vertices == 2
+        assert triangle_graph.num_edges == 1  # only a-c survives
+
+    def test_remove_missing_vertex_raises(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.remove_vertex("zz")
+
+    def test_set_probability(self, triangle_graph):
+        triangle_graph.set_probability(0, 0.123)
+        assert triangle_graph.probability(0) == pytest.approx(0.123)
+        with pytest.raises(InvalidProbabilityError):
+            triangle_graph.set_probability(0, 0.0)
+
+
+class TestQueries:
+    def test_degrees_and_neighbors(self, triangle_graph):
+        assert triangle_graph.degree("a") == 2
+        assert sorted(triangle_graph.neighbors("a")) == ["b", "c"]
+
+    def test_average_degree_and_probability(self, triangle_graph):
+        assert triangle_graph.average_degree() == pytest.approx(2.0)
+        assert triangle_graph.average_probability() == pytest.approx((0.9 + 0.8 + 0.7) / 3)
+
+    def test_has_edge_between(self, triangle_graph):
+        assert triangle_graph.has_edge_between("a", "b")
+        assert not triangle_graph.has_edge_between("a", "zz")
+
+    def test_incident_edges_unknown_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.incident_edges("zz")
+
+    def test_empty_graph_statistics(self):
+        graph = UncertainGraph()
+        assert graph.average_degree() == 0.0
+        assert graph.average_probability() == 0.0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(0)
+        assert triangle_graph.num_edges == 3
+        assert clone.num_edges == 2
+
+    def test_subgraph_preserves_edge_ids(self, bridge_graph):
+        sub = bridge_graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert sorted(sub.edge_ids()) == [0, 1, 2]
+
+    def test_subgraph_unknown_vertex(self, bridge_graph):
+        with pytest.raises(VertexNotFoundError):
+            bridge_graph.subgraph([0, 99])
+
+    def test_edge_subgraph(self, bridge_graph):
+        sub = bridge_graph.edge_subgraph([3])
+        assert sub.num_edges == 1
+        assert sub.num_vertices == 2
+
+
+class TestTerminalsAndInterop:
+    def test_validate_terminals_deduplicates(self, triangle_graph):
+        assert triangle_graph.validate_terminals(["a", "b", "a"]) == ("a", "b")
+
+    def test_validate_terminals_rejects_unknown(self, triangle_graph):
+        with pytest.raises(TerminalError):
+            triangle_graph.validate_terminals(["a", "zz"])
+
+    def test_validate_terminals_rejects_empty(self, triangle_graph):
+        with pytest.raises(TerminalError):
+            triangle_graph.validate_terminals([])
+
+    def test_edge_list_roundtrip(self, triangle_graph):
+        triples = triangle_graph.to_edge_list()
+        rebuilt = UncertainGraph.from_edge_list(triples)
+        assert rebuilt.num_vertices == triangle_graph.num_vertices
+        assert rebuilt.num_edges == triangle_graph.num_edges
+
+    def test_from_probability_map(self):
+        graph = UncertainGraph.from_probability_map({("a", "b"): 0.4, ("b", "c"): 0.6})
+        assert graph.num_edges == 2
+
+    def test_equality(self, triangle_graph):
+        assert triangle_graph == triangle_graph.copy()
+        other = triangle_graph.copy()
+        other.remove_edge(0)
+        assert triangle_graph != other
+        assert triangle_graph != "not a graph"
+
+    def test_repr_mentions_sizes(self, triangle_graph):
+        assert "|V|=3" in repr(triangle_graph)

@@ -1,0 +1,130 @@
+"""Unit and property tests for the union-find structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singletons_on_construction(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert uf.component_count == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert uf.component_count == 1
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+        assert uf.component_count == 1
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+        assert uf.component_size(1) == 3
+
+    def test_find_registers_unknown_elements(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_groups(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert sorted(sorted(members) for members in groups.values()) == [[1, 2], [3, 4]]
+
+    def test_same_component_empty_and_single(self):
+        uf = UnionFind()
+        assert uf.same_component([]) is True
+        assert uf.same_component(["only"]) is True
+
+    def test_same_component_multiple(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same_component(["a", "b", "c"])
+        uf.add("d")
+        assert not uf.same_component(["a", "d"])
+
+    def test_copy_is_independent(self):
+        uf = UnionFind([1, 2])
+        clone = uf.copy()
+        clone.union(1, 2)
+        assert clone.connected(1, 2)
+        assert not uf.connected(1, 2)
+
+    def test_iteration_and_contains(self):
+        uf = UnionFind(["x", "y"])
+        assert set(uf) == {"x", "y"}
+        assert "x" in uf and "z" not in uf
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_component_count_matches_groups(self, unions):
+        uf = UnionFind(range(21))
+        for a, b in unions:
+            uf.union(a, b)
+        groups = uf.groups()
+        assert uf.component_count == len(groups)
+        assert sum(len(members) for members in groups.values()) == 21
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+        ),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_connectivity_is_equivalence_relation(self, unions, a, b, c):
+        uf = UnionFind(range(16))
+        for x, y in unions:
+            uf.union(x, y)
+        # Reflexive, symmetric, transitive.
+        assert uf.connected(a, a)
+        assert uf.connected(a, b) == uf.connected(b, a)
+        if uf.connected(a, b) and uf.connected(b, c):
+            assert uf.connected(a, c)
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_union_matches_naive_partition(self, unions):
+        """Cross-check against a naive set-merging implementation."""
+        uf = UnionFind(range(11))
+        naive = [{i} for i in range(11)]
+
+        def naive_find(x):
+            for group in naive:
+                if x in group:
+                    return group
+            raise AssertionError
+
+        for a, b in unions:
+            uf.union(a, b)
+            ga, gb = naive_find(a), naive_find(b)
+            if ga is not gb:
+                ga |= gb
+                naive.remove(gb)
+        for x in range(11):
+            for y in range(11):
+                assert uf.connected(x, y) == (naive_find(x) is naive_find(y))

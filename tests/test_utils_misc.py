@@ -1,0 +1,135 @@
+"""Tests for the smaller utilities: Kahan summation, RNG handling, timers,
+and argument validation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, InvalidProbabilityError
+from repro.utils.kahan import KahanSum, kahan_sum
+from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.timers import Timer
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_probability_open_closed,
+)
+
+
+class TestKahanSum:
+    def test_empty_sum_is_zero(self):
+        assert KahanSum().value == 0.0
+
+    def test_simple_sum(self):
+        acc = KahanSum()
+        acc.extend([1.0, 2.0, 3.0])
+        assert acc.value == pytest.approx(6.0)
+        assert acc.count == 3
+
+    def test_compensation_beats_naive_sum(self):
+        # Adding many tiny values to a large one: naive float addition loses
+        # them entirely, Kahan keeps them.
+        values = [1e10] + [1e-6] * 100_000
+        naive = 0.0
+        for value in values:
+            naive += value
+        compensated = kahan_sum(values)
+        exact = 1e10 + 0.1
+        assert abs(compensated - exact) < abs(naive - exact) or naive == pytest.approx(exact)
+        assert compensated == pytest.approx(exact, rel=1e-12)
+
+    def test_float_conversion(self):
+        acc = KahanSum(2.5)
+        assert float(acc) == 2.5
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_close_to_math_fsum(self, values):
+        assert kahan_sum(values) == pytest.approx(math.fsum(values), abs=1e-9)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(resolve_rng(None), random.Random)
+
+    def test_seed_is_deterministic(self):
+        assert resolve_rng(7).random() == resolve_rng(7).random()
+
+    def test_existing_generator_passthrough(self):
+        generator = random.Random(3)
+        assert resolve_rng(generator) is generator
+
+    def test_rejects_bool_and_bad_types(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+    def test_spawn_is_deterministic_per_label(self):
+        a = spawn_rng(random.Random(1), "x").random()
+        b = spawn_rng(random.Random(1), "x").random()
+        c = spawn_rng(random.Random(1), "y").random()
+        assert a == b
+        assert a != c
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed >= 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer().start()
+        timer.stop()
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_accumulates_over_segments(self):
+        timer = Timer()
+        timer.start()
+        first = timer.stop()
+        timer.start()
+        second = timer.stop()
+        assert second >= first
+
+
+class TestValidation:
+    def test_positive_int_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, True, "3"])
+    def test_positive_int_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(value, "x")
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_non_negative_int_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_accepts_closed_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_probability_rejects_out_of_range(self, value):
+        with pytest.raises(InvalidProbabilityError):
+            check_probability(value, "p")
+
+    def test_open_closed_rejects_zero(self):
+        with pytest.raises(InvalidProbabilityError):
+            check_probability_open_closed(0.0, "p")
+        assert check_probability_open_closed(1.0, "p") == 1.0
