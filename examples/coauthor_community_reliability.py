@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 
-from repro import ReliabilityEstimator
+from repro import ReliabilityEngine
 from repro.analysis import cluster_uncertain_graph, top_k_reliable_vertices
 from repro.graph.generators import coauthorship_graph
 
@@ -36,7 +36,8 @@ def main() -> None:
     print(f"average tie probability: {graph.average_probability():.3f}")
     print()
 
-    estimator = ReliabilityEstimator(samples=2_000, max_width=512, rng=11)
+    # One engine session: the 2ECC index is built once for every query below.
+    engine = ReliabilityEngine(samples=2_000, max_width=512, rng=11).prepare(graph)
     rng = random.Random(11)
 
     # --- 1. Within-community vs cross-community groups --------------------
@@ -46,8 +47,7 @@ def main() -> None:
     within_group = [anchor] + neighbours[:4]
     cross_group = rng.sample(sorted(graph.vertices()), 5)
 
-    within = estimator.estimate(graph, within_group)
-    cross = estimator.estimate(graph, cross_group)
+    within, cross = engine.estimate_many([within_group, cross_group])
     print("group cohesion (k-terminal reliability)")
     print(f"  within-community group {within_group}: R = {within.reliability:.4f}")
     print(f"  random cross-community group {cross_group}: R = {cross.reliability:.4f}")

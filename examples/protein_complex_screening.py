@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 
-from repro import ReliabilityEstimator, preprocess
+from repro import ReliabilityEngine, preprocess
 from repro.analysis import find_reliable_subgraph
 from repro.graph.generators import protein_interaction_graph
 
@@ -38,7 +38,8 @@ def main() -> None:
     print(f"average interaction score: {network.average_probability():.3f}")
     print()
 
-    estimator = ReliabilityEstimator(samples=2_000, max_width=512, rng=7)
+    # One engine session: the 2ECC index is built once for every query below.
+    engine = ReliabilityEngine(samples=2_000, max_width=512, rng=7).prepare(network)
 
     # --- 1. Score candidate complexes -------------------------------------
     rng = random.Random(7)
@@ -52,7 +53,7 @@ def main() -> None:
     print("candidate complex screening")
     print(f"{'complex':14s} {'members':28s} {'reliability':>12s} {'bounds':>22s}")
     for name, members in candidates.items():
-        result = estimator.estimate(network, members)
+        result = engine.estimate(members)
         bounds = f"[{result.lower_bound:.3f}, {result.upper_bound:.3f}]"
         print(f"{name:14s} {str(members):28s} {result.reliability:12.4f} {bounds:>22s}")
     print()

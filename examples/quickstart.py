@@ -4,9 +4,11 @@
 This walks through the core workflow of the library:
 
 1. build an uncertain graph (edges with existence probabilities),
-2. estimate the reliability of a terminal set with the paper's approach
-   (extension technique + S²BDD + stratified sampling),
-3. compare against the exact answer and the plain sampling baseline.
+2. open a :class:`~repro.engine.ReliabilityEngine` session configured for
+   the paper's approach (extension technique + S²BDD + stratified
+   sampling) and answer queries against the prepared graph,
+3. compare against the exact and plain-sampling backends — every method is
+   reachable by name through the same session API.
 
 Run with::
 
@@ -15,12 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ReliabilityEstimator,
-    SamplingEstimator,
-    UncertainGraph,
-    exact_reliability,
-)
+from repro import EstimatorConfig, ReliabilityEngine, UncertainGraph, available_backends
 
 
 def build_example_graph() -> UncertainGraph:
@@ -42,13 +39,17 @@ def main() -> None:
 
     print(f"graph: {graph}")
     print(f"terminals: {terminals}")
+    print(f"registered backends: {', '.join(available_backends())}")
     print()
 
-    # The paper's approach.  On a graph this small the S²BDD never exceeds
-    # its width cap, so the answer is exact and no samples are needed.
-    estimator = ReliabilityEstimator(samples=10_000, max_width=1_000, rng=42)
-    result = estimator.estimate(graph, terminals)
-    print("S2BDD estimator (our approach)")
+    # The paper's approach, as a session: configure once, prepare the graph
+    # once (the 2-edge-connected index), then query.  On a graph this small
+    # the S²BDD never exceeds its width cap, so the answer is exact and no
+    # samples are needed.
+    config = EstimatorConfig(samples=10_000, max_width=1_000, rng=42)
+    engine = ReliabilityEngine(config).prepare(graph)
+    result = engine.estimate(terminals)
+    print("s2bdd backend (our approach)")
     print(f"  reliability        : {result.reliability:.6f}")
     print(f"  certified bounds   : [{result.lower_bound:.6f}, {result.upper_bound:.6f}]")
     print(f"  exact?             : {result.exact}")
@@ -58,18 +59,34 @@ def main() -> None:
     print(f"  subproblems        : {result.num_subproblems}")
     print()
 
-    # Ground truth via the exact frontier BDD.
-    exact = exact_reliability(graph, terminals)
-    print(f"exact reliability (full BDD): {exact:.6f}")
+    # A batch of related queries reuses the prepared index (the engine's
+    # whole point): one decomposition, many answers.
+    batch = engine.estimate_many([["a", "c"], ["e", "f"], ["a", "e", "g"]])
+    print("batch of queries on the same session")
+    for query_terminals, query_result in zip([["a", "c"], ["e", "f"], ["a", "e", "g"]], batch):
+        print(f"  R{query_terminals!r:20} = {query_result.reliability:.6f}")
+    print(f"  decompositions computed: {engine.stats.decompositions_computed} "
+          f"(for {engine.stats.queries_served} queries)")
+    print()
+
+    # Ground truth via the exact frontier BDD — same API, different backend.
+    exact_engine = ReliabilityEngine(config.replace(backend="exact-bdd")).prepare(graph)
+    exact = exact_engine.estimate(terminals).reliability
+    print(f"exact reliability (exact-bdd backend): {exact:.6f}")
     print()
 
     # The classic Monte Carlo baseline needs thousands of samples for the
     # same precision.
-    baseline = SamplingEstimator(samples=10_000, rng=42).estimate(graph, terminals)
-    print("plain sampling baseline")
+    sampling_engine = ReliabilityEngine(config.replace(backend="sampling")).prepare(graph)
+    baseline = sampling_engine.estimate(terminals, rng=42)
+    print("plain sampling backend")
     print(f"  reliability : {baseline.reliability:.6f}")
     print(f"  samples used: {baseline.samples_used}")
     print(f"  |error|     : {abs(baseline.reliability - exact):.6f}")
+    print()
+
+    # Results serialize for logging / caching / a future service layer.
+    print(f"result.to_dict() keys: {sorted(result.to_dict())}")
 
 
 if __name__ == "__main__":

@@ -8,14 +8,17 @@ Tokyo / New York City experiments.  Road networks are where the S²BDD
 shines: the planar-like structure keeps its frontier small, the bounds
 converge quickly, and the extension technique contracts long road chains.
 
-This example
+This example is the engine's headline workload — *many* queries against
+*one* graph:
 
 1. generates a synthetic road network (Tokyo-style substitute),
-2. compares the S²BDD estimator against the plain sampling baseline on the
-   same facility set (accuracy and time),
-3. sweeps the number of facilities ``k`` as in Figure 3, and
-4. ranks candidate depot locations by their reliability to the hospitals,
-   the kind of downstream decision the estimate feeds.
+2. prepares one :class:`~repro.engine.ReliabilityEngine` session so the
+   2-edge-connected decomposition index is computed once,
+3. compares the S²BDD backend against the sampling backend on the same
+   facility set (accuracy and time),
+4. sweeps the number of facilities ``k`` as in Figure 3, and
+5. ranks candidate depot locations with one ``estimate_many`` batch, the
+   kind of downstream decision the estimate feeds.
 
 Run with::
 
@@ -27,7 +30,7 @@ from __future__ import annotations
 import random
 import time
 
-from repro import ReliabilityEstimator, SamplingEstimator
+from repro import EstimatorConfig, ReliabilityEngine
 from repro.graph.generators import road_network_graph
 from repro.graph.probability_models import assign_uniform_probabilities
 
@@ -50,16 +53,20 @@ def main() -> None:
     intersections = [v for v in sorted(network.vertices()) if v < 144]
     hospitals = rng.sample(intersections[40:100], 3)
 
+    # One session per method; each prepares the decomposition index once
+    # and then serves every query below from it.
+    config = EstimatorConfig(samples=5_000, max_width=512, rng=3)
+    pro = ReliabilityEngine(config).prepare(network)
+    baseline = ReliabilityEngine(config.replace(backend="sampling")).prepare(network)
+
     # --- 1. Our approach vs the sampling baseline --------------------------
     print(f"facilities (hospitals): {hospitals}")
-    pro = ReliabilityEstimator(samples=5_000, max_width=512, rng=3)
     start = time.perf_counter()
-    pro_result = pro.estimate(network, hospitals)
+    pro_result = pro.estimate(hospitals)
     pro_time = time.perf_counter() - start
 
-    baseline = SamplingEstimator(samples=5_000, rng=3)
     start = time.perf_counter()
-    baseline_result = baseline.estimate(network, hospitals)
+    baseline_result = baseline.estimate(hospitals)
     baseline_time = time.perf_counter() - start
 
     print(f"  S2BDD   : R = {pro_result.reliability:.4f} "
@@ -75,7 +82,7 @@ def main() -> None:
     for k in (2, 3, 5, 8):
         facilities = rng.sample(intersections, k)
         start = time.perf_counter()
-        result = pro.estimate(network, facilities)
+        result = pro.estimate(facilities)
         elapsed = time.perf_counter() - start
         print(f"{k:3d} {result.reliability:12.4f} {result.samples_used:13d} {elapsed:9.2f}")
     print()
@@ -83,14 +90,17 @@ def main() -> None:
     # --- 3. Rank candidate depot sites --------------------------------------
     print("ranking candidate depot sites by reliability to the hospitals")
     candidates = rng.sample([v for v in intersections if v not in hospitals], 5)
-    scored = []
-    for depot in candidates:
-        result = pro.estimate(network, hospitals + [depot])
-        scored.append((result.reliability, depot))
+    batch = pro.estimate_many([hospitals + [depot] for depot in candidates])
+    scored = [
+        (result.reliability, depot) for result, depot in zip(batch, candidates)
+    ]
     for reliability, depot in sorted(scored, reverse=True):
         print(f"  depot at intersection {depot:5d}: R = {reliability:.4f}")
     best = max(scored)[1]
     print(f"recommended depot location: intersection {best}")
+    print()
+    print(f"session stats: {pro.stats.queries_served} queries served, "
+          f"{pro.stats.decompositions_computed} decomposition(s) computed")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,28 @@ paper's tables and figures.
 
 Quickstart
 ----------
->>> from repro import UncertainGraph, estimate_reliability
+The session API is :class:`ReliabilityEngine`: configure once, ``prepare``
+a graph once (building the 2-edge-connected decomposition index the paper
+precomputes), then answer many queries with amortized preprocessing.
+
+>>> from repro import EstimatorConfig, ReliabilityEngine, UncertainGraph
 >>> g = UncertainGraph.from_edge_list(
 ...     [("a", "b", 0.9), ("b", "c", 0.8), ("a", "c", 0.7), ("c", "d", 0.95)]
 ... )
->>> result = estimate_reliability(g, terminals=["a", "d"], samples=1000, rng=0)
+>>> engine = ReliabilityEngine(EstimatorConfig(samples=1000, rng=0))
+>>> result = engine.prepare(g).estimate(["a", "d"])
 >>> result.exact  # small graphs are solved exactly
 True
+>>> batch = engine.estimate_many([["a", "c"], ["b", "d"]])
+>>> engine.stats.decompositions_computed  # the index is reused
+1
+
+Every reliability method is a named *backend* (``"s2bdd"`` — the paper's
+approach — ``"sampling"``, ``"exact-bdd"``, ``"brute"``) selected through
+``EstimatorConfig(backend=...)``; see :func:`available_backends` and
+:func:`register_backend` for the registry.  The one-shot helpers
+:func:`estimate_reliability` / :class:`ReliabilityEstimator` remain as
+deprecated shims over the engine.
 """
 
 from repro.baselines import (
@@ -35,6 +50,16 @@ from repro.core import (
     exact_reliability,
     reduced_sample_count,
 )
+from repro.engine import (
+    EngineStats,
+    EstimatorConfig,
+    ReliabilityBackend,
+    ReliabilityEngine,
+    UnknownBackendError,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.exceptions import (
     BDDLimitExceededError,
     ConfigurationError,
@@ -49,7 +74,7 @@ from repro.exceptions import (
 from repro.graph import Edge, UncertainGraph
 from repro.preprocess import preprocess
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BDDLimitExceededError",
@@ -57,13 +82,17 @@ __all__ = [
     "DatasetError",
     "Edge",
     "EdgeOrdering",
+    "EngineStats",
+    "EstimatorConfig",
     "EstimatorError",
     "EstimatorKind",
     "ExactBDD",
     "GraphError",
     "InvalidProbabilityError",
     "PreprocessError",
+    "ReliabilityBackend",
     "ReliabilityBounds",
+    "ReliabilityEngine",
     "ReliabilityEstimator",
     "ReliabilityResult",
     "ReproError",
@@ -71,11 +100,15 @@ __all__ = [
     "SamplingEstimator",
     "TerminalError",
     "UncertainGraph",
+    "UnknownBackendError",
     "__version__",
+    "available_backends",
     "brute_force_reliability",
+    "create_backend",
     "estimate_reliability",
     "exact_bdd_reliability",
     "exact_reliability",
     "preprocess",
     "reduced_sample_count",
+    "register_backend",
 ]

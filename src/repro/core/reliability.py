@@ -1,35 +1,35 @@
 """Public reliability-estimation API.
 
-:class:`ReliabilityEstimator` is the main entry point of the library: it
-wires together the extension technique (prune / decompose / transform), the
-S²BDD with its stratified sampling, and the Theorem-1 sample reduction, and
-returns a :class:`ReliabilityResult` with the estimate, certified bounds
-and per-run statistics.
+The estimation logic itself lives in the backend layer
+(:mod:`repro.engine.backends`) behind the backend registry
+(:mod:`repro.engine.registry`); the session API for many queries against
+one graph is :class:`repro.engine.ReliabilityEngine`.  This module keeps
+the library's uniform result type, :class:`ReliabilityResult`, plus the
+legacy one-shot surface as thin shims over that layer:
 
-Convenience functions:
-
-* :func:`estimate_reliability` — one-shot estimation with default settings,
-* :func:`exact_reliability` — exact answer via the full BDD (or brute force
-  on tiny graphs), for when the graph is small enough.
+* :class:`ReliabilityEstimator` — *deprecated*: one-shot estimator kept for
+  backward compatibility; prefer :class:`~repro.engine.ReliabilityEngine`,
+* :func:`estimate_reliability` — *deprecated* one-shot convenience wrapper,
+* :func:`exact_reliability` — exact answer via the ``"exact-bdd"`` or
+  ``"brute"`` backend, for when the graph is small enough.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.bounds import ReliabilityBounds
 from repro.core.estimators import EstimatorKind
 from repro.core.frontier import EdgeOrdering
-from repro.core.s2bdd import S2BDD, S2BDDResult
-from repro.core.stratified import reduced_sample_count
+from repro.core.s2bdd import S2BDDResult
+from repro.engine.config import EstimatorConfig
+from repro.engine.registry import create_backend
 from repro.exceptions import ConfigurationError
 from repro.graph.components import GraphDecomposition
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.preprocess.pipeline import PreprocessResult, preprocess
-from repro.utils.rng import RandomLike, resolve_rng, spawn_rng
-from repro.utils.timers import Timer
-from repro.utils.validation import check_positive_int
+from repro.preprocess.pipeline import PreprocessResult
+from repro.utils.rng import RandomLike, resolve_rng
 
 __all__ = [
     "ReliabilityEstimator",
@@ -104,9 +104,88 @@ class ReliabilityResult:
             return 1.0
         return self.samples_used / self.samples_requested
 
+    # ------------------------------------------------------------------
+    # JSON-safe serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-safe dict (enums to strings, subresults summarized).
+
+        Suitable for logging, caching, or returning from a service layer.
+        The per-subproblem diagrams and the preprocess pipeline output are
+        reduced to scalar summaries, so :meth:`from_dict` restores every
+        scalar field but leaves ``subresults`` empty and
+        ``preprocess_result`` as ``None``.
+        """
+        return {
+            "reliability": self.reliability,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "exact": self.exact,
+            "samples_requested": self.samples_requested,
+            "samples_used": self.samples_used,
+            "elapsed_seconds": self.elapsed_seconds,
+            "preprocess_seconds": self.preprocess_seconds,
+            "bridge_probability": self.bridge_probability,
+            "num_subproblems": self.num_subproblems,
+            "estimator": self.estimator.value,
+            "used_extension": self.used_extension,
+            "subresults": [
+                {
+                    "reliability": sub.reliability,
+                    "lower_bound": sub.lower_bound,
+                    "upper_bound": sub.upper_bound,
+                    "exact": sub.exact,
+                    "samples_used": sub.samples_used,
+                    "num_strata": sub.num_strata,
+                    "peak_width": sub.peak_width,
+                }
+                for sub in self.subresults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReliabilityResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Subresult summaries are informational only and are not restored as
+        :class:`~repro.core.s2bdd.S2BDDResult` objects.
+        """
+        scalar_fields = (
+            "reliability",
+            "lower_bound",
+            "upper_bound",
+            "exact",
+            "samples_requested",
+            "samples_used",
+            "elapsed_seconds",
+            "preprocess_seconds",
+            "bridge_probability",
+            "num_subproblems",
+            "used_extension",
+        )
+        missing = sorted(
+            name for name in scalar_fields + ("estimator",) if name not in payload
+        )
+        if missing:
+            raise ConfigurationError(
+                f"ReliabilityResult payload is missing fields: {', '.join(missing)}"
+            )
+        return cls(
+            estimator=EstimatorKind.coerce(payload["estimator"]),
+            **{name: payload[name] for name in scalar_fields},
+        )
+
 
 class ReliabilityEstimator:
-    """The paper's approach: extension technique + S²BDD + stratified sampling.
+    """One-shot estimator for the paper's approach (S²BDD + extension).
+
+    .. deprecated::
+        Kept as a thin shim over the ``"s2bdd"`` backend for backward
+        compatibility.  New code should use
+        :class:`repro.engine.ReliabilityEngine`, which shares one
+        :class:`~repro.engine.config.EstimatorConfig`, caches the
+        2-edge-connected decomposition index across queries, and can answer
+        batches via ``estimate_many``.
 
     Parameters
     ----------
@@ -148,38 +227,45 @@ class ReliabilityEstimator:
         stratum_mass_cutoff: float = 0.5,
         rng: RandomLike = None,
     ) -> None:
-        check_positive_int(samples, "samples")
-        check_positive_int(max_width, "max_width")
-        self._samples = samples
-        self._max_width = max_width
-        self._estimator = EstimatorKind.coerce(estimator)
-        self._use_extension = use_extension
-        self._edge_ordering = EdgeOrdering(edge_ordering)
-        self._stratum_mass_cutoff = stratum_mass_cutoff
+        self._config = EstimatorConfig(
+            backend="s2bdd",
+            samples=samples,
+            max_width=max_width,
+            estimator=estimator,
+            use_extension=use_extension,
+            edge_ordering=edge_ordering,
+            stratum_mass_cutoff=stratum_mass_cutoff,
+        )
+        self._backend = create_backend("s2bdd", self._config)
         self._rng = resolve_rng(rng)
 
     # ------------------------------------------------------------------
     # Configuration accessors (used by the experiment harness)
     # ------------------------------------------------------------------
     @property
+    def config(self) -> EstimatorConfig:
+        """The consolidated configuration backing this estimator."""
+        return self._config
+
+    @property
     def samples(self) -> int:
         """Configured sample budget ``s``."""
-        return self._samples
+        return self._config.samples
 
     @property
     def max_width(self) -> int:
         """Configured S²BDD width cap ``w``."""
-        return self._max_width
+        return self._config.max_width
 
     @property
     def estimator(self) -> EstimatorKind:
         """Configured estimator kind."""
-        return self._estimator
+        return self._config.estimator
 
     @property
     def uses_extension(self) -> bool:
         """Whether the extension technique is enabled."""
-        return self._use_extension
+        return self._config.use_extension
 
     # ------------------------------------------------------------------
     # Estimation
@@ -197,104 +283,8 @@ class ReliabilityEstimator:
         decomposition of ``graph`` (the paper's precomputed index) to avoid
         recomputing it for every query.
         """
-        timer = Timer().start()
-        terminals = graph.validate_terminals(terminals)
-
-        if len(terminals) <= 1:
-            return self._trivial_result(1.0, timer.stop())
-
-        if self._use_extension:
-            prep = preprocess(graph, terminals, decomposition=decomposition)
-            deterministic = prep.deterministic_reliability()
-            if deterministic is not None:
-                return self._trivial_result(
-                    deterministic,
-                    timer.stop(),
-                    preprocess_seconds=prep.elapsed_seconds,
-                    bridge_probability=prep.bridge_probability,
-                    preprocess_result=prep,
-                )
-            subproblems = [(sub.graph, sub.terminals) for sub in prep.subproblems]
-            bridge_probability = prep.bridge_probability
-            preprocess_seconds = prep.elapsed_seconds
-            preprocess_result: Optional[PreprocessResult] = prep
-        else:
-            subproblems = [(graph, terminals)]
-            bridge_probability = 1.0
-            preprocess_seconds = 0.0
-            preprocess_result = None
-
-        reliability = bridge_probability
-        bounds = ReliabilityBounds(1.0, 0.0)
-        samples_used = 0
-        subresults: List[S2BDDResult] = []
-        all_exact = True
-
-        for index, (subgraph, subterminals) in enumerate(subproblems):
-            sub_rng = spawn_rng(self._rng, f"subproblem-{index}")
-            bdd = S2BDD(
-                subgraph,
-                subterminals,
-                max_width=self._max_width,
-                edge_ordering=self._edge_ordering,
-                stratum_mass_cutoff=self._stratum_mass_cutoff,
-                rng=sub_rng,
-            )
-            result = bdd.run(self._samples, estimator=self._estimator)
-            subresults.append(result)
-            reliability *= result.reliability
-            bounds = bounds.combine(result.bounds)
-            samples_used += result.samples_used
-            all_exact &= result.exact
-
-        bounds = bounds.scaled(bridge_probability)
-        # Guard against one-ulp inversions introduced by the independent
-        # floating-point roundings of the lower and upper products.
-        lower_bound = min(bounds.lower, bounds.upper)
-        upper_bound = max(bounds.lower, bounds.upper)
-        reliability = min(upper_bound, max(lower_bound, reliability))
-
-        return ReliabilityResult(
-            reliability=reliability,
-            lower_bound=lower_bound,
-            upper_bound=upper_bound,
-            exact=all_exact,
-            samples_requested=self._samples,
-            samples_used=samples_used,
-            elapsed_seconds=timer.stop(),
-            preprocess_seconds=preprocess_seconds,
-            bridge_probability=bridge_probability,
-            num_subproblems=len(subproblems),
-            estimator=self._estimator,
-            used_extension=self._use_extension,
-            subresults=subresults,
-            preprocess_result=preprocess_result,
-        )
-
-    def _trivial_result(
-        self,
-        reliability: float,
-        elapsed: float,
-        *,
-        preprocess_seconds: float = 0.0,
-        bridge_probability: float = 1.0,
-        preprocess_result: Optional[PreprocessResult] = None,
-    ) -> ReliabilityResult:
-        return ReliabilityResult(
-            reliability=reliability,
-            lower_bound=reliability,
-            upper_bound=reliability,
-            exact=True,
-            samples_requested=self._samples,
-            samples_used=0,
-            elapsed_seconds=elapsed,
-            preprocess_seconds=preprocess_seconds,
-            bridge_probability=bridge_probability,
-            num_subproblems=0,
-            estimator=self._estimator,
-            used_extension=self._use_extension,
-            subresults=[],
-            preprocess_result=preprocess_result,
+        return self._backend.estimate(
+            graph, terminals, rng=self._rng, decomposition=decomposition
         )
 
 
@@ -310,7 +300,13 @@ def estimate_reliability(
     stratum_mass_cutoff: float = 0.5,
     rng: RandomLike = None,
 ) -> ReliabilityResult:
-    """One-shot convenience wrapper around :class:`ReliabilityEstimator`."""
+    """One-shot convenience wrapper around the ``"s2bdd"`` backend.
+
+    .. deprecated::
+        Prefer :class:`repro.engine.ReliabilityEngine` for anything beyond
+        a single ad-hoc query; it amortizes preprocessing across queries.
+        This wrapper re-runs the decomposition on every call.
+    """
     return ReliabilityEstimator(
         samples=samples,
         max_width=max_width,
@@ -322,6 +318,10 @@ def estimate_reliability(
     ).estimate(graph, terminals)
 
 
+#: Mapping from this function's historical ``method`` names to registry names.
+_EXACT_METHOD_BACKENDS = {"bdd": "exact-bdd", "brute": "brute"}
+
+
 def exact_reliability(
     graph: UncertainGraph,
     terminals: Sequence[Vertex],
@@ -330,6 +330,10 @@ def exact_reliability(
     max_nodes: int = 2_000_000,
 ) -> float:
     """Compute the exact reliability on a small graph.
+
+    Routed through the backend registry, which keeps this module free of a
+    direct dependency on :mod:`repro.baselines` (the registry imports the
+    implementation lazily on first use).
 
     Parameters
     ----------
@@ -341,14 +345,9 @@ def exact_reliability(
     max_nodes:
         Node budget for the BDD method.
     """
-    # Imported lazily: the baselines package imports the core frontier
-    # machinery, so importing it at module load time would be circular.
-    from repro.baselines.brute_force import brute_force_reliability
-    from repro.baselines.exact_bdd import ExactBDD
-
-    terminals = graph.validate_terminals(terminals)
-    if method == "brute":
-        return brute_force_reliability(graph, terminals)
-    if method == "bdd":
-        return ExactBDD(graph, terminals, max_nodes=max_nodes).run().reliability
-    raise ConfigurationError(f"unknown exact method {method!r}; use 'bdd' or 'brute'")
+    backend_name = _EXACT_METHOD_BACKENDS.get(method)
+    if backend_name is None:
+        raise ConfigurationError(f"unknown exact method {method!r}; use 'bdd' or 'brute'")
+    config = EstimatorConfig(backend=backend_name, exact_bdd_node_limit=max_nodes)
+    backend = create_backend(backend_name, config)
+    return backend.estimate(graph, graph.validate_terminals(terminals)).reliability

@@ -1,0 +1,43 @@
+"""Session-based reliability query engine with pluggable backends.
+
+This package is the library's query layer:
+
+* :mod:`repro.engine.config` — :class:`EstimatorConfig`, the one frozen,
+  validated, JSON-round-trippable configuration shared by every backend,
+  the experiment harness, and the CLI,
+* :mod:`repro.engine.registry` — the backend registry: every reliability
+  method (``"s2bdd"``, ``"sampling"``, ``"exact-bdd"``, ``"brute"``) is
+  selectable by name through one uniform :class:`ReliabilityBackend`
+  protocol,
+* :mod:`repro.engine.engine` — :class:`ReliabilityEngine`, the session
+  object that prepares a graph once (caching its 2-edge-connected
+  decomposition index) and then serves many queries with amortized
+  preprocessing.
+"""
+
+from repro.engine.config import EstimatorConfig
+from repro.engine.engine import EngineStats, ReliabilityEngine
+from repro.engine.registry import (
+    ReliabilityBackend,
+    UnknownBackendError,
+    available_backends,
+    backend_factory,
+    create_backend,
+    register_backend,
+    require_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "EngineStats",
+    "EstimatorConfig",
+    "ReliabilityBackend",
+    "ReliabilityEngine",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_factory",
+    "create_backend",
+    "register_backend",
+    "require_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,185 @@
+"""The reliability-backend registry.
+
+Every reliability method the library implements — the paper's S²BDD
+approach, the plain sampling baseline, the exact frontier BDD, and brute
+force — is exposed as a *backend*: an object satisfying the
+:class:`ReliabilityBackend` protocol that turns ``(graph, terminals)`` into
+a :class:`~repro.core.reliability.ReliabilityResult`.  Callers select a
+backend by name (``"s2bdd"``, ``"sampling"``, ``"exact-bdd"``, ``"brute"``)
+through one code path instead of four ad-hoc class APIs.
+
+The registry stores *lazy* specifications (``"module:attr"`` strings) for
+the built-in backends, so importing this module pulls in neither
+:mod:`repro.core` nor :mod:`repro.baselines`.  That property is what breaks
+the historical ``core → baselines → core`` import cycle: the public API in
+:mod:`repro.core.reliability` depends only on this light module, and the
+heavy backend implementations are imported on first use.
+
+Third-party code can plug in additional methods::
+
+    from repro.engine import register_backend
+
+    register_backend("my-method", MyBackend)   # MyBackend(config) -> backend
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # Heavy modules are only needed for type checking.
+    from random import Random
+
+    from repro.core.reliability import ReliabilityResult
+    from repro.engine.config import EstimatorConfig
+    from repro.graph.components import GraphDecomposition
+    from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = [
+    "BackendFactory",
+    "ReliabilityBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_factory",
+    "create_backend",
+    "register_backend",
+    "require_backend",
+    "unregister_backend",
+]
+
+Vertex = Hashable
+
+
+@runtime_checkable
+class ReliabilityBackend(Protocol):
+    """Protocol every registered reliability method implements.
+
+    A backend is constructed from an
+    :class:`~repro.engine.config.EstimatorConfig` (by its factory) and
+    answers queries through :meth:`estimate`, returning the library's
+    uniform :class:`~repro.core.reliability.ReliabilityResult`.
+    """
+
+    #: Registry name of the method (``"s2bdd"``, ``"sampling"``, ...).
+    name: str
+
+    def estimate(
+        self,
+        graph: "UncertainGraph",
+        terminals: Sequence[Vertex],
+        *,
+        rng: "Optional[Random]" = None,
+        decomposition: "Optional[GraphDecomposition]" = None,
+    ) -> "ReliabilityResult":
+        """Compute the reliability of ``graph`` for ``terminals``.
+
+        ``rng`` overrides the configured random source for this query;
+        ``decomposition`` is the precomputed 2-edge-connected index, which
+        backends that do not use the extension technique may ignore.
+        """
+
+
+#: A factory is a callable taking the :class:`EstimatorConfig` and returning
+#: a backend instance (typically the backend class itself).
+BackendFactory = Callable[["EstimatorConfig"], ReliabilityBackend]
+
+#: Registered specs: either a resolved factory or a lazy ``"module:attr"``
+#: string, imported on first lookup.
+_REGISTRY: Dict[str, Union[BackendFactory, str]] = {}
+
+
+class UnknownBackendError(ConfigurationError):
+    """Raised when a backend name is not in the registry.
+
+    The message lists every registered name so a CLI typo is actionable.
+    """
+
+    def __init__(self, name: str) -> None:
+        registered = ", ".join(repr(known) for known in available_backends())
+        super().__init__(
+            f"unknown reliability backend {name!r}; "
+            f"registered backends are: {registered}"
+        )
+        self.name = name
+
+
+def register_backend(
+    name: str,
+    factory: Union[BackendFactory, str],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` (or a lazy ``"module:attr"`` spec) under ``name``.
+
+    Re-registering an existing name raises :class:`ConfigurationError`
+    unless ``replace`` is set, so plugins cannot silently shadow each other.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (:class:`UnknownBackendError` if absent)."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name)
+    del _REGISTRY[name]
+
+
+def available_backends() -> List[str]:
+    """Return the sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def require_backend(name: str) -> None:
+    """Validate that ``name`` is registered without importing its module."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name)
+
+
+def backend_factory(name: str) -> BackendFactory:
+    """Return the factory registered under ``name``, resolving lazy specs."""
+    require_backend(name)
+    spec = _REGISTRY[name]
+    if isinstance(spec, str):
+        module_name, _, attribute = spec.partition(":")
+        if not attribute:
+            raise ConfigurationError(
+                f"invalid lazy backend spec {spec!r} for {name!r}; "
+                "expected 'module:attr'"
+            )
+        module = importlib.import_module(module_name)
+        spec = getattr(module, attribute)
+        _REGISTRY[name] = spec  # Cache the resolved factory.
+    return spec
+
+
+def create_backend(name: str, config: "EstimatorConfig") -> ReliabilityBackend:
+    """Instantiate the backend registered under ``name`` for ``config``."""
+    return backend_factory(name)(config)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends (lazy, so this module stays import-light).
+# ----------------------------------------------------------------------
+register_backend("s2bdd", "repro.engine.backends:S2BDDBackend")
+register_backend("sampling", "repro.engine.backends:SamplingBackend")
+register_backend("exact-bdd", "repro.engine.backends:ExactBDDBackend")
+register_backend("brute", "repro.engine.backends:BruteForceBackend")

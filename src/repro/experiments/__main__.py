@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments table2
     python -m repro.experiments figure3 --samples 2000 --max-width 1000
+    python -m repro.experiments figure3 --backend sampling
     python -m repro.experiments all --preset quick
     python -m repro.experiments table3 --preset paper   # very slow
 
@@ -18,6 +19,8 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
+from repro.engine.registry import available_backends
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runners import (
     run_ablation_heuristic,
@@ -61,6 +64,8 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["num_searches"] = args.searches
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     if overrides:
         config = config.with_overrides(**overrides)
     return config
@@ -87,15 +92,41 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--max-width", type=int, default=None, help="override S2BDD width w")
     parser.add_argument("--searches", type=int, default=None, help="override searches per cell")
     parser.add_argument("--seed", type=int, default=None, help="override the base RNG seed")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "reliability backend for the primary method "
+            f"(registered: {', '.join(available_backends())})"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    config = _build_config(args)
-    if args.experiment == "all":
-        for name, table in run_all(config).items():
-            print(table.render())
-            print()
-    else:
-        print(_RUNNERS[args.experiment](config).render())
+    try:
+        config = _build_config(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.experiment == "all":
+            for name, table in run_all(config).items():
+                print(table.render())
+                print()
+        else:
+            print(_RUNNERS[args.experiment](config).render())
+    except (ReproError, ValueError) as error:
+        # A backend that cannot complete the workload (exact BDD node
+        # budget, brute-force edge cap, ...) should end in an actionable
+        # message, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        if config.backend != "s2bdd":
+            print(
+                f"hint: backend {config.backend!r} may not scale to this "
+                "experiment; try --backend s2bdd or a smaller --preset",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

@@ -11,8 +11,10 @@ paper's settings (slow).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.engine.config import EstimatorConfig
+from repro.engine.registry import require_backend
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ExperimentConfig"]
@@ -41,6 +43,9 @@ class ExperimentConfig:
         Dataset scale passed to :func:`repro.datasets.load_dataset`.
     seed:
         Base RNG seed; every runner derives per-search seeds from it.
+    backend:
+        Registry name of the primary reliability method (the "Pro" columns
+        of the tables); resolved through :mod:`repro.engine.registry`.
     """
 
     samples: int = 2_000
@@ -54,6 +59,7 @@ class ExperimentConfig:
     scale: str = "bench"
     seed: int = 2019
     exact_bdd_node_limit: int = 200_000
+    backend: str = "s2bdd"
 
     def __post_init__(self) -> None:
         check_positive_int(self.samples, "samples")
@@ -61,6 +67,7 @@ class ExperimentConfig:
         check_positive_int(self.num_searches, "num_searches")
         check_positive_int(self.accuracy_searches, "accuracy_searches")
         check_positive_int(self.accuracy_repeats, "accuracy_repeats")
+        require_backend(self.backend)
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -92,3 +99,20 @@ class ExperimentConfig:
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def estimator_config(
+        self, *, backend: Optional[str] = None, **overrides
+    ) -> EstimatorConfig:
+        """Bridge to the engine layer: an :class:`EstimatorConfig` for a runner.
+
+        ``backend`` defaults to this config's primary backend; any
+        :class:`EstimatorConfig` field can be overridden on top (e.g. the
+        per-cell ``samples`` grid of Figure 4).
+        """
+        base = EstimatorConfig(
+            backend=backend if backend is not None else self.backend,
+            samples=self.samples,
+            max_width=self.max_width,
+            exact_bdd_node_limit=self.exact_bdd_node_limit,
+        )
+        return base.replace(**overrides) if overrides else base

@@ -30,12 +30,11 @@ import statistics
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.exact_bdd import ExactBDD
-from repro.baselines.sampling import SamplingEstimator
 from repro.core.estimators import EstimatorKind
 from repro.core.frontier import EdgeOrdering
-from repro.core.reliability import ReliabilityEstimator
 from repro.core.s2bdd import S2BDD
 from repro.datasets import dataset_spec
+from repro.engine import ReliabilityEngine, create_backend
 from repro.exceptions import BDDLimitExceededError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import accuracy_metrics
@@ -106,16 +105,23 @@ def run_figure3(
     """Regenerate Figure 3: response time per dataset and terminal count."""
     config = config or ExperimentConfig()
     cache = DatasetCache(scale=config.scale)
+    pro_label = "Pro(MC)" if config.backend == "s2bdd" else f"Pro({config.backend})"
     table = Table(
         title="Figure 3: response time [s] (mean over searches)",
         columns=[
             "dataset", "k",
-            "Pro(MC)", "Pro(MC) w/o ext", "Sampling(MC)", "BDD", "speed-up",
+            pro_label, f"{pro_label} w/o ext", "Sampling(MC)", "BDD", "speed-up",
         ],
     )
     for key in config.large_datasets:
         graph = cache.graph(key)
         decomposition = cache.decomposition(key)
+        pro = ReliabilityEngine(config.estimator_config())
+        pro.prepare(graph, decomposition)
+        no_extension = ReliabilityEngine(config.estimator_config(use_extension=False))
+        no_extension.prepare(graph, decomposition)
+        sampler = ReliabilityEngine(config.estimator_config(backend="sampling"))
+        sampler.prepare(graph, decomposition)
         for k in config.num_terminals:
             searches = generate_searches(
                 graph, key, k, config.num_searches, seed=config.seed + k
@@ -125,33 +131,21 @@ def run_figure3(
             sampling_times: List[float] = []
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
-                pro = ReliabilityEstimator(
-                    samples=config.samples, max_width=config.max_width, rng=seed
-                )
                 with Timer() as timer:
-                    pro.estimate(graph, search.terminals, decomposition=decomposition)
+                    pro.estimate(search.terminals, rng=seed)
                 pro_times.append(timer.elapsed)
 
-                no_extension = ReliabilityEstimator(
-                    samples=config.samples,
-                    max_width=config.max_width,
-                    use_extension=False,
-                    rng=seed,
-                )
                 with Timer() as timer:
-                    no_extension.estimate(graph, search.terminals)
+                    no_extension.estimate(search.terminals, rng=seed)
                 noext_times.append(timer.elapsed)
 
-                sampler = SamplingEstimator(samples=config.samples, rng=seed)
                 with Timer() as timer:
-                    sampler.estimate(graph, search.terminals)
+                    sampler.estimate(search.terminals, rng=seed)
                 sampling_times.append(timer.elapsed)
 
             bdd_cell: object = "-"
             if include_exact_bdd:
-                bdd_cell = _exact_bdd_time(
-                    graph, searches[0].terminals, config.exact_bdd_node_limit
-                )
+                bdd_cell = _exact_bdd_time(graph, searches[0].terminals, config)
             pro_mean = statistics.mean(pro_times)
             sampling_mean = statistics.mean(sampling_times)
             table.add_row(
@@ -171,11 +165,12 @@ def run_figure3(
     return table
 
 
-def _exact_bdd_time(graph, terminals, node_limit: int) -> object:
+def _exact_bdd_time(graph, terminals, config: ExperimentConfig) -> object:
     """Time the exact BDD baseline, reporting DNF on node-budget blow-up."""
+    backend = create_backend("exact-bdd", config.estimator_config(backend="exact-bdd"))
     try:
         with Timer() as timer:
-            ExactBDD(graph, terminals, max_nodes=node_limit).run()
+            backend.estimate(graph, terminals)
     except BDDLimitExceededError:
         return "DNF"
     return round(timer.elapsed, 3)
@@ -206,24 +201,24 @@ def run_figure4(
             graph, key, num_terminals, config.num_searches, seed=config.seed
         )
         for samples in sample_grid:
+            pro = ReliabilityEngine(config.estimator_config(samples=samples))
+            pro.prepare(graph, decomposition)
+            sampler = ReliabilityEngine(
+                config.estimator_config(backend="sampling", samples=samples)
+            )
+            sampler.prepare(graph, decomposition)
             time_ratios: List[float] = []
             sample_ratios: List[float] = []
             pro_times: List[float] = []
             sampling_times: List[float] = []
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
-                pro = ReliabilityEstimator(
-                    samples=samples, max_width=config.max_width, rng=seed
-                )
                 with Timer() as timer:
-                    result = pro.estimate(
-                        graph, search.terminals, decomposition=decomposition
-                    )
+                    result = pro.estimate(search.terminals, rng=seed)
                 pro_times.append(timer.elapsed)
 
-                sampler = SamplingEstimator(samples=samples, rng=seed)
                 with Timer() as timer:
-                    sampler.estimate(graph, search.terminals)
+                    sampler.estimate(search.terminals, rng=seed)
                 sampling_times.append(timer.elapsed)
 
                 if sampling_times[-1] > 0:
@@ -273,17 +268,14 @@ def run_figure5(
             graph, key, num_terminals, config.num_searches, seed=config.seed
         )
         for width in width_grid:
+            engine = ReliabilityEngine(config.estimator_config(max_width=width))
+            engine.prepare(graph, decomposition)
             peaks: List[int] = []
             times: List[float] = []
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
-                estimator = ReliabilityEstimator(
-                    samples=config.samples, max_width=width, rng=seed
-                )
                 with Timer() as timer:
-                    result = estimator.estimate(
-                        graph, search.terminals, decomposition=decomposition
-                    )
+                    result = engine.estimate(search.terminals, rng=seed)
                 times.append(timer.elapsed)
                 peaks.append(max((sub.peak_width for sub in result.subresults), default=0))
             mean_peak = statistics.mean(peaks) if peaks else 0.0
@@ -340,8 +332,8 @@ def _run_accuracy(dataset: str, config: ExperimentConfig) -> Table:
         columns=["k", "method", "variance", "error rate", "mean R-hat", "exact runs"],
     )
     methods: Tuple[Tuple[str, str, EstimatorKind], ...] = (
-        ("Pro(MC)", "pro", EstimatorKind.MONTE_CARLO),
-        ("Pro(HT)", "pro", EstimatorKind.HORVITZ_THOMPSON),
+        ("Pro(MC)", config.backend, EstimatorKind.MONTE_CARLO),
+        ("Pro(HT)", config.backend, EstimatorKind.HORVITZ_THOMPSON),
         ("Sampling(MC)", "sampling", EstimatorKind.MONTE_CARLO),
         ("Sampling(HT)", "sampling", EstimatorKind.HORVITZ_THOMPSON),
     )
@@ -364,34 +356,28 @@ def _run_accuracy(dataset: str, config: ExperimentConfig) -> Table:
                     node_limit=config.exact_bdd_node_limit,
                 )
             )
-        for label, family, estimator_kind in methods:
+        for label, backend_name, estimator_kind in methods:
+            engine = ReliabilityEngine(
+                config.estimator_config(
+                    backend=backend_name,
+                    estimator=estimator_kind,
+                    # The accuracy experiments use the paper's larger width
+                    # so the S²BDD solves the small datasets exactly, as
+                    # reported in Tables 3 and 4.
+                    max_width=max(config.max_width, 10_000),
+                )
+            )
+            engine.prepare(graph, decomposition)
             approximations: List[List[float]] = []
             exact_runs = 0
             for search_index, search in enumerate(searches):
                 repeats: List[float] = []
                 for repeat in range(config.accuracy_repeats):
                     seed = config.seed + 7919 * search_index + repeat
-                    if family == "pro":
-                        estimator = ReliabilityEstimator(
-                            samples=config.samples,
-                            # The accuracy experiments use the paper's larger
-                            # width so the S²BDD solves the small datasets
-                            # exactly, as reported in Tables 3 and 4.
-                            max_width=max(config.max_width, 10_000),
-                            estimator=estimator_kind,
-                            rng=seed,
-                        )
-                        result = estimator.estimate(
-                            graph, search.terminals, decomposition=decomposition
-                        )
-                        repeats.append(result.reliability)
-                        if result.exact:
-                            exact_runs += 1
-                    else:
-                        sampler = SamplingEstimator(
-                            samples=config.samples, estimator=estimator_kind, rng=seed
-                        )
-                        repeats.append(sampler.estimate(graph, search.terminals).reliability)
+                    result = engine.estimate(search.terminals, rng=seed)
+                    repeats.append(result.reliability)
+                    if result.exact:
+                        exact_runs += 1
                 approximations.append(repeats)
             metrics = accuracy_metrics(exact_values, approximations)
             mean_estimate = statistics.mean(

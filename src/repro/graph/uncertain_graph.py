@@ -321,6 +321,20 @@ class UncertainGraph:
             raise TerminalError("the terminal set must not be empty")
         return tuple(seen)
 
+    def topology_fingerprint(self) -> Tuple[int, int, int]:
+        """A cheap O(1) stamp that changes whenever the topology changes.
+
+        Any mutation touching an edge (adding, removing, or replacing) or
+        changing the vertex count changes at least one component;
+        probability updates do not, which is exactly right for consumers
+        caching topology-only derived data such as the 2-edge-connected
+        decomposition index.  (Swapping one isolated vertex for another is
+        the only structural change it can miss — harmless for connectivity
+        consumers, since an isolated vertex never joins a terminal set's
+        component.)
+        """
+        return (self.num_vertices, self.num_edges, self._next_edge_id)
+
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
