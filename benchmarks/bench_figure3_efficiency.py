@@ -17,7 +17,7 @@ import pytest
 
 from repro.baselines.exact_bdd import ExactBDD
 from repro.baselines.sampling import SamplingEstimator
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine import EstimatorConfig, ReliabilityEngine
 from repro.exceptions import BDDLimitExceededError
 
 
@@ -42,12 +42,11 @@ class TestFigure3:
         """Our approach with the extension technique (Pro(MC))."""
         dataset = config.large_datasets[0]
         graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
-        decomposition = dataset_cache.decomposition(dataset)
-        estimator = ReliabilityEstimator(
-            samples=config.samples, max_width=config.max_width, rng=config.seed
-        )
+        engine = ReliabilityEngine(
+            EstimatorConfig(samples=config.samples, max_width=config.max_width)
+        ).prepare(graph, dataset_cache.decomposition(dataset))
         result = benchmark.pedantic(
-            lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+            lambda: engine.estimate(terminals, rng=config.seed),
             rounds=1,
             iterations=1,
         )
@@ -57,14 +56,15 @@ class TestFigure3:
         """Our approach without preprocessing (Pro(MC) w/o ext)."""
         dataset = config.large_datasets[0]
         graph, terminals = _terminals(dataset_cache, terminal_picker, dataset, config.num_terminals[0])
-        estimator = ReliabilityEstimator(
-            samples=config.samples,
-            max_width=config.max_width,
-            use_extension=False,
-            rng=config.seed,
-        )
+        engine = ReliabilityEngine(
+            EstimatorConfig(
+                samples=config.samples,
+                max_width=config.max_width,
+                use_extension=False,
+            )
+        ).prepare(graph)
         result = benchmark.pedantic(
-            lambda: estimator.estimate(graph, terminals), rounds=1, iterations=1
+            lambda: engine.estimate(terminals, rng=config.seed), rounds=1, iterations=1
         )
         assert 0.0 <= result.reliability <= 1.0
 
@@ -103,12 +103,11 @@ class TestFigure3:
             from repro.utils.timers import Timer
 
             for dataset, k, graph, terminals in figure3_cases:
-                decomposition = dataset_cache.decomposition(dataset)
-                pro = ReliabilityEstimator(
-                    samples=config.samples, max_width=config.max_width, rng=config.seed
-                )
+                pro = ReliabilityEngine(
+                    EstimatorConfig(samples=config.samples, max_width=config.max_width)
+                ).prepare(graph, dataset_cache.decomposition(dataset))
                 with Timer() as pro_timer:
-                    pro.estimate(graph, terminals, decomposition=decomposition)
+                    pro.estimate(terminals, rng=config.seed)
                 sampler = SamplingEstimator(samples=config.samples, rng=config.seed)
                 with Timer() as sampling_timer:
                     sampler.estimate(graph, terminals)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.sampling import SamplingEstimator
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine import EstimatorConfig, ReliabilityEngine
 from repro.utils.timers import Timer
 
 SAMPLE_GRID = (200, 1_000, 5_000)
@@ -23,12 +23,11 @@ def test_pro_time_vs_samples(benchmark, samples, config, dataset_cache, terminal
     dataset = config.large_datasets[0]
     graph = dataset_cache.graph(dataset)
     terminals = terminal_picker(graph, config.num_terminals[0])
-    decomposition = dataset_cache.decomposition(dataset)
-    estimator = ReliabilityEstimator(
-        samples=samples, max_width=config.max_width, rng=config.seed
-    )
+    engine = ReliabilityEngine(
+        EstimatorConfig(samples=samples, max_width=config.max_width)
+    ).prepare(graph, dataset_cache.decomposition(dataset))
     result = benchmark.pedantic(
-        lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+        lambda: engine.estimate(terminals, rng=config.seed),
         rounds=1,
         iterations=1,
     )
@@ -57,11 +56,11 @@ def test_print_figure4_series(benchmark, config, dataset_cache, terminal_picker)
 
     def sweep():
         for samples in SAMPLE_GRID:
-            estimator = ReliabilityEstimator(
-                samples=samples, max_width=config.max_width, rng=config.seed
-            )
+            engine = ReliabilityEngine(
+                EstimatorConfig(samples=samples, max_width=config.max_width)
+            ).prepare(graph, decomposition)
             with Timer() as pro_timer:
-                result = estimator.estimate(graph, terminals, decomposition=decomposition)
+                result = engine.estimate(terminals, rng=config.seed)
             sampler = SamplingEstimator(samples=samples, rng=config.seed)
             with Timer() as sampling_timer:
                 sampler.estimate(graph, terminals)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine import EstimatorConfig, ReliabilityEngine
 from repro.utils.timers import Timer
 
 WIDTH_GRID = (64, 256, 1_024)
@@ -21,10 +21,11 @@ def test_time_vs_width(benchmark, width, config, dataset_cache, terminal_picker)
     dataset = config.large_datasets[0]
     graph = dataset_cache.graph(dataset)
     terminals = terminal_picker(graph, config.num_terminals[0])
-    decomposition = dataset_cache.decomposition(dataset)
-    estimator = ReliabilityEstimator(samples=config.samples, max_width=width, rng=config.seed)
+    engine = ReliabilityEngine(
+        EstimatorConfig(samples=config.samples, max_width=width)
+    ).prepare(graph, dataset_cache.decomposition(dataset))
     result = benchmark.pedantic(
-        lambda: estimator.estimate(graph, terminals, decomposition=decomposition),
+        lambda: engine.estimate(terminals, rng=config.seed),
         rounds=1,
         iterations=1,
     )
@@ -42,11 +43,11 @@ def test_print_figure5_series(benchmark, config, dataset_cache, terminal_picker)
 
     def sweep():
         for width in WIDTH_GRID:
-            estimator = ReliabilityEstimator(
-                samples=config.samples, max_width=width, rng=config.seed
-            )
+            engine = ReliabilityEngine(
+                EstimatorConfig(samples=config.samples, max_width=width)
+            ).prepare(graph, decomposition)
             with Timer() as timer:
-                result = estimator.estimate(graph, terminals, decomposition=decomposition)
+                result = engine.estimate(terminals, rng=config.seed)
             peak = max((sub.peak_width for sub in result.subresults), default=0)
             rows.append((width, peak, timer.elapsed))
         return rows

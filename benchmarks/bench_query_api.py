@@ -1,0 +1,120 @@
+"""Benchmark for the unified query API: pooled vs per-call sampling.
+
+A multi-query analysis workload (reliability searches, top-k rankings, and
+a clustering, all on one prepared graph) is the engine's headline
+amortization scenario: every sampling-driven query reads from one shared
+:class:`~repro.engine.worlds.WorldPool` instead of drawing its own worlds.
+The benchmark answers the same workload twice —
+
+* **pooled**: ``engine.query_many`` with the engine's deterministic pool
+  seed, so the worlds are sampled once and every later query is a cache
+  hit,
+* **unpooled**: one explicit per-query random source, the pre-query-API
+  behaviour where every call resamples from scratch —
+
+and the expected shape is a clear multi-query speedup for the pooled run
+(the unpooled run pays ``queries × sampling`` while the pooled run pays
+``1 × sampling + queries × lookups``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    ClusteringQuery,
+    EstimatorConfig,
+    ReliabilityEngine,
+    ReliabilitySearchQuery,
+    TopKReliableVerticesQuery,
+)
+from repro.utils.timers import Timer
+
+
+def _workload(graph, num_searches: int = 8):
+    """A mixed sampling-driven workload over one graph."""
+    vertices = sorted(graph.vertices(), key=repr)
+    queries = []
+    for index in range(num_searches):
+        source = vertices[(index * 7) % len(vertices)]
+        queries.append(ReliabilitySearchQuery(sources=(source,), threshold=0.4))
+        queries.append(TopKReliableVerticesQuery(sources=(source,), k=3))
+    queries.append(ClusteringQuery(num_clusters=2))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def karate(dataset_cache):
+    return dataset_cache.graph("karate")
+
+
+def test_pooled_multi_query_workload(benchmark, config, karate):
+    """All queries share one world pool (the unified query API path)."""
+    queries = _workload(karate)
+
+    def run():
+        engine = ReliabilityEngine(
+            EstimatorConfig(samples=config.samples, rng=config.seed)
+        ).prepare(karate)
+        results = engine.query_many(queries)
+        # The whole batch sampled worlds exactly once.
+        assert engine.stats.world_pools_built == 1
+        assert engine.stats.world_pool_hits == len(queries) - 1
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == len(_workload(karate))
+
+
+def test_unpooled_multi_query_workload(benchmark, config, karate):
+    """The same workload with per-call resampling (the legacy behaviour)."""
+    queries = _workload(karate)
+
+    def run():
+        engine = ReliabilityEngine(
+            EstimatorConfig(samples=config.samples, rng=config.seed)
+        ).prepare(karate)
+        results = [
+            engine.query(query, rng=config.seed + index)
+            for index, query in enumerate(queries)
+        ]
+        # Explicit per-query random sources bypass the pool cache: every
+        # query resampled its own worlds.
+        assert engine.stats.world_pools_built == len(queries)
+        assert engine.stats.world_pool_hits == 0
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == len(_workload(karate))
+
+
+def test_print_pooled_speedup(benchmark, config, karate):
+    """Print the pooled-vs-unpooled comparison as one series."""
+    queries = _workload(karate)
+
+    def sweep():
+        pooled_engine = ReliabilityEngine(
+            EstimatorConfig(samples=config.samples, rng=config.seed)
+        ).prepare(karate)
+        with Timer() as pooled:
+            pooled_engine.query_many(queries)
+
+        unpooled_engine = ReliabilityEngine(
+            EstimatorConfig(samples=config.samples, rng=config.seed)
+        ).prepare(karate)
+        with Timer() as unpooled:
+            for index, query in enumerate(queries):
+                unpooled_engine.query(query, rng=config.seed + index)
+        return pooled.elapsed, unpooled.elapsed, pooled_engine.stats
+
+    pooled_time, unpooled_time, stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"query API workload on karate ({len(queries)} queries, s={config.samples})")
+    print(f"  pooled   : {pooled_time:8.3f} s "
+          f"({stats.world_pools_built} pool built, {stats.world_pool_hits} hits)")
+    print(f"  unpooled : {unpooled_time:8.3f} s (resampled per call)")
+    ratio = unpooled_time / pooled_time if pooled_time > 0 else float("inf")
+    print(f"  speed-up : {ratio:8.2f}x")
+    # Shape check: sharing one pool across a 17-query workload must beat
+    # per-call resampling.
+    assert pooled_time < unpooled_time

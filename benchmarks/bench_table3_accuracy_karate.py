@@ -13,7 +13,7 @@ import pytest
 
 from repro.baselines.exact_bdd import ExactBDD
 from repro.baselines.sampling import SamplingEstimator
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine import EstimatorConfig, ReliabilityEngine
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runners import run_table3
 
@@ -36,8 +36,12 @@ def test_exact_bdd_reference(benchmark, karate, terminal_picker, config):
 
 def test_pro_estimator_on_karate(benchmark, karate, terminal_picker, config):
     terminals = terminal_picker(karate, 5)
-    estimator = ReliabilityEstimator(samples=config.samples, max_width=20_000, rng=config.seed)
-    result = benchmark.pedantic(lambda: estimator.estimate(karate, terminals), rounds=1, iterations=1)
+    engine = ReliabilityEngine(
+        EstimatorConfig(samples=config.samples, max_width=20_000)
+    ).prepare(karate)
+    result = benchmark.pedantic(
+        lambda: engine.estimate(terminals, rng=config.seed), rounds=1, iterations=1
+    )
     # On Karate the S²BDD never overflows: the answer is exact.
     assert result.exact
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.sampling import SamplingEstimator
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine import EstimatorConfig, ReliabilityEngine
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runners import run_table4
 
@@ -25,11 +25,11 @@ def amrv(dataset_cache):
 
 def test_pro_estimator_on_amrv(benchmark, amrv, terminal_picker, config, dataset_cache):
     terminals = terminal_picker(amrv, 5)
-    estimator = ReliabilityEstimator(samples=config.samples, max_width=20_000, rng=config.seed)
+    engine = ReliabilityEngine(
+        EstimatorConfig(samples=config.samples, max_width=20_000)
+    ).prepare(amrv, dataset_cache.decomposition("amrv"))
     result = benchmark.pedantic(
-        lambda: estimator.estimate(
-            amrv, terminals, decomposition=dataset_cache.decomposition("amrv")
-        ),
+        lambda: engine.estimate(terminals, rng=config.seed),
         rounds=1,
         iterations=1,
     )

@@ -87,6 +87,19 @@ def main() -> None:
 
     # Results serialize for logging / caching / a future service layer.
     print(f"result.to_dict() keys: {sorted(result.to_dict())}")
+    print()
+
+    # Beyond plain estimation: every analysis is a typed query answered by
+    # the same session (see examples/multi_query_session.py for the full
+    # tour).  A threshold query certifies its decision when the certified
+    # bounds exclude the threshold.
+    from repro import ThresholdQuery
+
+    decision = engine.query(ThresholdQuery(terminals=("e", "g"), threshold=0.5))
+    print("typed threshold query: is R[e, g] >= 0.5?")
+    print(f"  satisfied : {decision.satisfied}")
+    print(f"  certified : {decision.certified}")
+    print(f"  estimate  : {decision.reliability:.6f}")
 
 
 if __name__ == "__main__":

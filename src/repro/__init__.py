@@ -25,12 +25,26 @@ True
 >>> engine.stats.decompositions_computed  # the index is reused
 1
 
+Beyond plain estimation, every analysis workload is a *typed query*
+answered by the same session — ``KTerminalQuery``, ``ThresholdQuery``,
+``ReliabilitySearchQuery``, ``TopKReliableVerticesQuery``,
+``ReliableSubgraphQuery``, and ``ClusteringQuery`` — and sampling-driven
+queries share one pool of sampled possible worlds per prepared graph:
+
+>>> from repro import ReliabilitySearchQuery, ThresholdQuery
+>>> hit = engine.query(ThresholdQuery(terminals=("a", "d"), threshold=0.5))
+>>> reachable = engine.query(ReliabilitySearchQuery(sources=("a",), threshold=0.5))
+>>> engine.stats.world_pools_built  # search sampled the shared pool once
+1
+
 Every reliability method is a named *backend* (``"s2bdd"`` — the paper's
 approach — ``"sampling"``, ``"exact-bdd"``, ``"brute"``) selected through
 ``EstimatorConfig(backend=...)``; see :func:`available_backends` and
 :func:`register_backend` for the registry.  The one-shot helpers
 :func:`estimate_reliability` / :class:`ReliabilityEstimator` remain as
-deprecated shims over the engine.
+deprecated shims over the engine (they emit ``DeprecationWarning``), and
+the :mod:`repro.analysis` functions are thin wrappers over the typed
+queries.
 """
 
 from repro.baselines import (
@@ -51,14 +65,25 @@ from repro.core import (
     reduced_sample_count,
 )
 from repro.engine import (
+    ClusteringQuery,
     EngineStats,
     EstimatorConfig,
+    KTerminalQuery,
+    Query,
+    QueryResult,
     ReliabilityBackend,
     ReliabilityEngine,
+    ReliabilitySearchQuery,
+    ReliableSubgraphQuery,
+    ThresholdQuery,
+    TopKReliableVerticesQuery,
     UnknownBackendError,
+    WorldPool,
     available_backends,
     create_backend,
+    query_from_dict,
     register_backend,
+    result_from_dict,
 )
 from repro.exceptions import (
     BDDLimitExceededError,
@@ -74,10 +99,11 @@ from repro.exceptions import (
 from repro.graph import Edge, UncertainGraph
 from repro.preprocess import preprocess
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BDDLimitExceededError",
+    "ClusteringQuery",
     "ConfigurationError",
     "DatasetError",
     "Edge",
@@ -89,18 +115,26 @@ __all__ = [
     "ExactBDD",
     "GraphError",
     "InvalidProbabilityError",
+    "KTerminalQuery",
     "PreprocessError",
+    "Query",
+    "QueryResult",
     "ReliabilityBackend",
     "ReliabilityBounds",
     "ReliabilityEngine",
     "ReliabilityEstimator",
     "ReliabilityResult",
+    "ReliabilitySearchQuery",
+    "ReliableSubgraphQuery",
     "ReproError",
     "S2BDD",
     "SamplingEstimator",
     "TerminalError",
+    "ThresholdQuery",
+    "TopKReliableVerticesQuery",
     "UncertainGraph",
     "UnknownBackendError",
+    "WorldPool",
     "__version__",
     "available_backends",
     "brute_force_reliability",
@@ -109,6 +143,8 @@ __all__ = [
     "exact_bdd_reliability",
     "exact_reliability",
     "preprocess",
+    "query_from_dict",
     "reduced_sample_count",
     "register_backend",
+    "result_from_dict",
 ]

@@ -1,25 +1,28 @@
-"""Uncertain-graph analyses built on top of the reliability estimator.
+"""Uncertain-graph analyses built on top of the reliability engine.
 
 The paper motivates its estimator by the downstream analyses that call
 network reliability in their inner loop (Section 2, "Other problems with
-uncertain graphs").  This package implements representative versions of
-those analyses so the estimator can be exercised the way the paper's
-intended users would:
+uncertain graphs").  Since the unified query API, every analysis here is a
+thin one-shot wrapper over a typed query of :mod:`repro.engine.queries`,
+answered by :meth:`repro.engine.ReliabilityEngine.query`:
 
 * :mod:`repro.analysis.reliable_subgraph` — discover subgraphs whose
   vertices are mutually connected with probability above a threshold
-  (Jin et al., KDD 2011 flavour),
+  (Jin et al., KDD 2011 flavour; :class:`ReliableSubgraphQuery`),
 * :mod:`repro.analysis.reliability_search` — given source vertices, find
   the vertices reachable from them with probability above a threshold, or
   the top-k most reliably reachable vertices (Khan et al., EDBT 2014
-  flavour),
+  flavour; :class:`ReliabilitySearchQuery` / :class:`TopKReliableVerticesQuery`),
 * :mod:`repro.analysis.clustering` — k-median-style clustering of an
   uncertain graph using reliability as the similarity (Ceccarello et al.,
-  PVLDB 2017 flavour).
+  PVLDB 2017 flavour; :class:`ClusteringQuery`).
 
-Every analysis accepts a configured estimator factory, so callers can
-choose between the paper's approach and the plain sampling baseline and
-observe the accuracy/efficiency difference end to end.
+The wrappers stay for convenience and reproduce their historical
+fixed-seed results exactly, but a workload that issues more than one query
+against the same graph should build the queries directly and answer them
+through one prepared engine — sampling-driven queries then share one pool
+of possible worlds instead of resampling per call (see
+``engine.stats.world_pool_hits``).
 """
 
 from repro.analysis.clustering import ReliabilityClustering, cluster_uncertain_graph

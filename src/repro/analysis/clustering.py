@@ -2,72 +2,32 @@
 
 Ceccarello et al. (PVLDB 2017) cluster uncertain graphs by choosing a set
 of centre vertices and assigning every vertex to the centre it is most
-reliably connected to.  This module implements that scheme with a
-k-centre-style greedy seeding:
+reliably connected to.  The k-centre-style greedy lives in the engine's
+query layer (:class:`repro.engine.queries.ClusteringQuery`), where all
+pairwise connection probabilities are read from the session's shared pool
+of sampled possible worlds; this module keeps the original one-shot
+function as a thin wrapper.
 
-1. pick the highest-degree vertex as the first centre,
-2. repeatedly add the vertex whose best connection probability to the
-   existing centres is lowest (the "least covered" vertex),
-3. assign every vertex to its most reliable centre.
+Prefer the engine for multi-query workloads — clustering, search, and
+top-k queries on one prepared graph all share a single world pool::
 
-Connection probabilities are estimated from a shared pool of sampled
-possible worlds, mirroring how the original algorithm uses Monte Carlo
-reliability in its inner loop; the module exists so the estimator can be
-exercised in a realistic multi-query workload.
+    engine = ReliabilityEngine(EstimatorConfig(samples=1000, rng=7)).prepare(graph)
+    clustering = engine.query(ClusteringQuery(num_clusters=3))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable
 
-from repro.exceptions import ConfigurationError
+from repro.engine.config import EstimatorConfig
+from repro.engine.engine import ReliabilityEngine
+from repro.engine.queries import ClusteringQuery, ReliabilityClustering
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import RandomLike, resolve_rng
-from repro.utils.union_find import UnionFind
-from repro.utils.validation import check_positive_int
 
 __all__ = ["ReliabilityClustering", "cluster_uncertain_graph"]
 
 Vertex = Hashable
-
-
-@dataclass
-class ReliabilityClustering:
-    """A clustering of an uncertain graph.
-
-    Attributes
-    ----------
-    centers:
-        The chosen cluster centres.
-    assignment:
-        Mapping from every vertex to its centre.
-    connection_probability:
-        Mapping from every vertex to the estimated probability that it is
-        connected to its assigned centre.
-    samples_used:
-        Number of sampled possible worlds shared by all estimates.
-    """
-
-    centers: Tuple[Vertex, ...]
-    assignment: Dict[Vertex, Vertex]
-    connection_probability: Dict[Vertex, float]
-    samples_used: int
-
-    @property
-    def num_clusters(self) -> int:
-        """Number of clusters."""
-        return len(self.centers)
-
-    def cluster_members(self, center: Vertex) -> List[Vertex]:
-        """Return the vertices assigned to ``center``."""
-        return [vertex for vertex, assigned in self.assignment.items() if assigned == center]
-
-    def average_connection_probability(self) -> float:
-        """Average probability of a vertex being connected to its centre."""
-        if not self.connection_probability:
-            return 0.0
-        return sum(self.connection_probability.values()) / len(self.connection_probability)
 
 
 def cluster_uncertain_graph(
@@ -77,64 +37,10 @@ def cluster_uncertain_graph(
     samples: int = 1_000,
     rng: RandomLike = None,
 ) -> ReliabilityClustering:
-    """Cluster ``graph`` into ``num_clusters`` reliability-based clusters."""
-    check_positive_int(num_clusters, "num_clusters")
-    check_positive_int(samples, "samples")
-    if num_clusters > graph.num_vertices:
-        raise ConfigurationError(
-            f"cannot form {num_clusters} clusters from {graph.num_vertices} vertices"
-        )
-    generator = resolve_rng(rng)
+    """Cluster ``graph`` into ``num_clusters`` reliability-based clusters.
 
-    vertices = sorted(graph.vertices(), key=repr)
-    edges = [edge for edge in graph.edges() if not edge.is_loop()]
-
-    # One shared pool of sampled worlds: world_components[w][v] is the root
-    # of v's component in world w, so pairwise connectivity probabilities are
-    # lookups rather than fresh sampling runs.
-    world_roots: List[Dict[Vertex, Vertex]] = []
-    for _ in range(samples):
-        union_find = UnionFind(vertices)
-        for edge in edges:
-            if generator.random() < edge.probability:
-                union_find.union(edge.u, edge.v)
-        world_roots.append({vertex: union_find.find(vertex) for vertex in vertices})
-
-    def connection_probability(a: Vertex, b: Vertex) -> float:
-        if a == b:
-            return 1.0
-        connected = sum(1 for roots in world_roots if roots[a] == roots[b])
-        return connected / samples
-
-    # Greedy k-centre seeding on the (1 - reliability) distance.
-    centers: List[Vertex] = [max(vertices, key=lambda v: (graph.degree(v), repr(v)))]
-    best_probability: Dict[Vertex, float] = {
-        vertex: connection_probability(vertex, centers[0]) for vertex in vertices
-    }
-    while len(centers) < num_clusters:
-        next_center = min(
-            (vertex for vertex in vertices if vertex not in centers),
-            key=lambda v: (best_probability[v], -graph.degree(v), repr(v)),
-        )
-        centers.append(next_center)
-        for vertex in vertices:
-            probability = connection_probability(vertex, next_center)
-            if probability > best_probability[vertex]:
-                best_probability[vertex] = probability
-
-    # Final assignment to the most reliable centre.
-    assignment: Dict[Vertex, Vertex] = {}
-    connection: Dict[Vertex, float] = {}
-    for vertex in vertices:
-        best_center = max(
-            centers, key=lambda c: (connection_probability(vertex, c), repr(c))
-        )
-        assignment[vertex] = best_center
-        connection[vertex] = connection_probability(vertex, best_center)
-
-    return ReliabilityClustering(
-        centers=tuple(centers),
-        assignment=assignment,
-        connection_probability=connection,
-        samples_used=samples,
-    )
+    One-shot wrapper over :class:`~repro.engine.queries.ClusteringQuery`.
+    """
+    engine = ReliabilityEngine(EstimatorConfig())
+    query = ClusteringQuery(num_clusters=num_clusters, samples=samples)
+    return engine.query(query, graph=graph, rng=resolve_rng(rng))

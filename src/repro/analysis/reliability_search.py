@@ -3,71 +3,43 @@
 Khan, Bonchi, Gionis and Gullo (EDBT 2014) define the *reliability search*
 problem: given source vertices and a probability threshold ``η``, return
 every vertex whose probability of being connected to the sources is at
-least ``η``.  This module provides that query plus a top-k variant, both
-implemented on a shared single-source sampling pass: one set of sampled
-possible worlds simultaneously yields reachability frequencies for *all*
-vertices, which is how the original paper's RQ-tree baseline behaves and
-keeps the query tractable.
+least ``η``.  The implementation lives in the engine's query layer
+(:class:`repro.engine.queries.ReliabilitySearchQuery` /
+:class:`~repro.engine.queries.TopKReliableVerticesQuery`), where the
+screening pass reads from the session's shared pool of sampled possible
+worlds; this module keeps the original one-shot functions as thin wrappers
+for convenience and backward compatibility.
 
-For small candidate sets the per-vertex probabilities can instead be
-refined through the paper's estimator (``refine_with_estimator=True``),
-demonstrating how the S²BDD improves the downstream analysis accuracy.
+Prefer the engine for multi-query workloads — a prepared
+:class:`~repro.engine.ReliabilityEngine` answers many searches from one
+world pool instead of resampling per call::
+
+    engine = ReliabilityEngine(EstimatorConfig(samples=2000, rng=7)).prepare(graph)
+    result = engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.6))
+
+The wrappers below reproduce their historical fixed-seed results exactly:
+they route the caller's random source straight into the pooled sampler,
+which draws one uniform per non-loop edge in edge order, the same stream
+the pre-engine implementation consumed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Sequence, Tuple
 
-from repro.core.reliability import ReliabilityEstimator
+from repro.engine.config import EstimatorConfig
+from repro.engine.engine import ReliabilityEngine
+from repro.engine.queries import (
+    ReliabilitySearchQuery,
+    ReliabilitySearchResult,
+    TopKReliableVerticesQuery,
+)
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import RandomLike, resolve_rng
-from repro.utils.union_find import UnionFind
-from repro.utils.validation import check_positive_int, check_probability
 
 __all__ = ["ReliabilitySearchResult", "reliability_search", "top_k_reliable_vertices"]
 
 Vertex = Hashable
-
-
-@dataclass
-class ReliabilitySearchResult:
-    """Outcome of a reliability search query."""
-
-    sources: Tuple[Vertex, ...]
-    threshold: float
-    vertices: Tuple[Vertex, ...]
-    probabilities: Dict[Vertex, float]
-    samples_used: int
-
-    def probability(self, vertex: Vertex) -> float:
-        """Estimated probability that ``vertex`` connects to the sources."""
-        return self.probabilities.get(vertex, 0.0)
-
-
-def _reachability_frequencies(
-    graph: UncertainGraph,
-    sources: Sequence[Vertex],
-    samples: int,
-    rng,
-) -> Dict[Vertex, float]:
-    """Fraction of sampled worlds in which each vertex reaches all sources."""
-    counts: Dict[Vertex, int] = {vertex: 0 for vertex in graph.vertices()}
-    edges = list(graph.edges())
-    for _ in range(samples):
-        union_find = UnionFind()
-        for vertex in sources:
-            union_find.add(vertex)
-        for edge in edges:
-            if not edge.is_loop() and rng.random() < edge.probability:
-                union_find.union(edge.u, edge.v)
-        if not union_find.same_component(sources):
-            continue
-        source_root = union_find.find(sources[0])
-        for vertex in counts:
-            if vertex in union_find and union_find.find(vertex) == source_root:
-                counts[vertex] += 1
-    return {vertex: count / samples for vertex, count in counts.items()}
 
 
 def reliability_search(
@@ -83,6 +55,12 @@ def reliability_search(
 ) -> ReliabilitySearchResult:
     """Return every vertex connected to the sources with probability ≥ ``threshold``.
 
+    One-shot wrapper over
+    :class:`~repro.engine.queries.ReliabilitySearchQuery`; repeated
+    searches on one graph should share a prepared
+    :class:`~repro.engine.ReliabilityEngine` instead, which reuses one
+    pool of sampled worlds across queries.
+
     Parameters
     ----------
     graph:
@@ -97,38 +75,18 @@ def reliability_search(
     refine_with_estimator:
         When set, vertices whose screening frequency lies within ±0.1 of the
         threshold are re-evaluated with the paper's estimator for a sharper
-        decision.
+        decision (configured by ``refine_samples`` / ``refine_max_width``).
     """
-    threshold = check_probability(threshold, "threshold")
-    check_positive_int(samples, "samples")
-    sources = graph.validate_terminals(sources)
-    generator = resolve_rng(rng)
-
-    frequencies = _reachability_frequencies(graph, sources, samples, generator)
-
-    if refine_with_estimator:
-        estimator = ReliabilityEstimator(
-            samples=refine_samples, max_width=refine_max_width, rng=generator
-        )
-        for vertex, frequency in list(frequencies.items()):
-            if vertex in sources:
-                continue
-            if abs(frequency - threshold) <= 0.1:
-                refined = estimator.estimate(graph, tuple(sources) + (vertex,))
-                frequencies[vertex] = refined.reliability
-
-    qualifying = tuple(
-        vertex
-        for vertex in sorted(frequencies, key=lambda v: (-frequencies[v], repr(v)))
-        if frequencies[vertex] >= threshold and vertex not in sources
+    engine = ReliabilityEngine(
+        EstimatorConfig(samples=refine_samples, max_width=refine_max_width)
     )
-    return ReliabilitySearchResult(
+    query = ReliabilitySearchQuery(
         sources=tuple(sources),
         threshold=threshold,
-        vertices=qualifying,
-        probabilities=frequencies,
-        samples_used=samples,
+        samples=samples,
+        refine_with_estimator=refine_with_estimator,
     )
+    return engine.query(query, graph=graph, rng=resolve_rng(rng))
 
 
 def top_k_reliable_vertices(
@@ -139,18 +97,12 @@ def top_k_reliable_vertices(
     samples: int = 2_000,
     rng: RandomLike = None,
 ) -> List[Tuple[Vertex, float]]:
-    """Return the ``k`` non-source vertices most reliably connected to the sources."""
-    check_positive_int(k, "k")
-    check_positive_int(samples, "samples")
-    sources = graph.validate_terminals(sources)
-    generator = resolve_rng(rng)
-    frequencies = _reachability_frequencies(graph, sources, samples, generator)
-    ranked = sorted(
-        (
-            (vertex, frequency)
-            for vertex, frequency in frequencies.items()
-            if vertex not in sources
-        ),
-        key=lambda item: (-item[1], repr(item[0])),
-    )
-    return ranked[:k]
+    """Return the ``k`` non-source vertices most reliably connected to the sources.
+
+    One-shot wrapper over
+    :class:`~repro.engine.queries.TopKReliableVerticesQuery`.
+    """
+    engine = ReliabilityEngine(EstimatorConfig())
+    query = TopKReliableVerticesQuery(sources=tuple(sources), k=k, samples=samples)
+    result = engine.query(query, graph=graph, rng=resolve_rng(rng))
+    return list(result.ranking)

@@ -2,49 +2,38 @@
 
 Given a set of query vertices, find a small connected subgraph containing
 them whose vertices are mutually connected with probability at least a
-threshold.  The greedy strategy follows the spirit of Jin, Liu and Aggarwal
-(KDD 2011): start from the query vertices, repeatedly add the neighbouring
-vertex that most improves the reliability of the induced subgraph, and stop
-when the threshold is met (or no candidate improves it).
+threshold, in the greedy spirit of Jin, Liu and Aggarwal (KDD 2011).  The
+greedy growth itself lives in the engine's query layer
+(:func:`repro.engine.queries.greedy_reliable_subgraph`, dispatched through
+:class:`~repro.engine.queries.ReliableSubgraphQuery`), where the
+reliability oracle is the engine's configured backend; this module keeps
+the original one-shot function as a thin wrapper that also still accepts
+an arbitrary oracle callable.
 
-The reliability oracle is pluggable: by default the paper's estimator
-(:class:`repro.core.reliability.ReliabilityEstimator`) is used, so this
-analysis doubles as an end-to-end integration exercise for the library.
+Prefer the engine for multi-query workloads::
+
+    engine = ReliabilityEngine(EstimatorConfig(samples=2000, rng=7)).prepare(graph)
+    result = engine.query(ReliableSubgraphQuery(query_vertices=(0, 4), threshold=0.9))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, Optional, Sequence
 
-from repro.core.reliability import ReliabilityEstimator
-from repro.exceptions import ConfigurationError
+from repro.engine.config import EstimatorConfig
+from repro.engine.engine import ReliabilityEngine
+from repro.engine.queries import (
+    ReliabilityOracle,
+    ReliableSubgraphQuery,
+    ReliableSubgraphResult,
+    greedy_reliable_subgraph,
+)
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.utils.rng import RandomLike
-from repro.utils.validation import check_probability
+from repro.utils.rng import RandomLike, resolve_rng
 
 __all__ = ["ReliableSubgraphResult", "find_reliable_subgraph"]
 
 Vertex = Hashable
-ReliabilityOracle = Callable[[UncertainGraph, Sequence[Vertex]], float]
-
-
-@dataclass
-class ReliableSubgraphResult:
-    """Outcome of a reliable-subgraph search."""
-
-    vertices: Tuple[Vertex, ...]
-    reliability: float
-    threshold: float
-    satisfied: bool
-    expansions: int
-    evaluations: int
-    history: List[Tuple[Vertex, float]] = field(default_factory=list)
-
-    @property
-    def size(self) -> int:
-        """Number of vertices in the discovered subgraph."""
-        return len(self.vertices)
 
 
 def find_reliable_subgraph(
@@ -59,6 +48,10 @@ def find_reliable_subgraph(
     rng: RandomLike = None,
 ) -> ReliableSubgraphResult:
     """Greedily grow a subgraph whose query vertices are reliably connected.
+
+    One-shot wrapper over
+    :class:`~repro.engine.queries.ReliableSubgraphQuery` (or, when a
+    custom ``oracle`` is given, directly over the shared greedy core).
 
     Parameters
     ----------
@@ -75,70 +68,12 @@ def find_reliable_subgraph(
         Reliability oracle ``(graph, terminals) -> float``; defaults to the
         paper's estimator with the given ``samples`` / ``max_width`` / ``rng``.
     """
-    threshold = check_probability(threshold, "threshold")
-    query = graph.validate_terminals(query_vertices)
-    if max_size is not None and max_size < len(query):
-        raise ConfigurationError("max_size must be at least the number of query vertices")
-    if oracle is None:
-        estimator = ReliabilityEstimator(
-            samples=samples, max_width=max_width, rng=rng
+    if oracle is not None:
+        return greedy_reliable_subgraph(
+            graph, query_vertices, threshold, max_size=max_size, oracle=oracle
         )
-
-        def oracle(subgraph: UncertainGraph, terminals: Sequence[Vertex]) -> float:
-            return estimator.estimate(subgraph, terminals).reliability
-
-    limit = max_size if max_size is not None else graph.num_vertices
-    selected: Set[Vertex] = set(query)
-    evaluations = 0
-    expansions = 0
-    history: List[Tuple[Vertex, float]] = []
-
-    def current_reliability() -> float:
-        nonlocal evaluations
-        evaluations += 1
-        subgraph = graph.subgraph(selected)
-        return oracle(subgraph, query)
-
-    reliability = current_reliability()
-    history.append((query[0], reliability))
-
-    while reliability < threshold and len(selected) < limit:
-        candidates = _boundary_vertices(graph, selected)
-        if not candidates:
-            break
-        best_vertex: Optional[Vertex] = None
-        best_reliability = reliability
-        for candidate in candidates:
-            selected.add(candidate)
-            evaluations += 1
-            candidate_reliability = oracle(graph.subgraph(selected), query)
-            selected.remove(candidate)
-            if candidate_reliability > best_reliability:
-                best_reliability = candidate_reliability
-                best_vertex = candidate
-        if best_vertex is None:
-            break
-        selected.add(best_vertex)
-        reliability = best_reliability
-        expansions += 1
-        history.append((best_vertex, reliability))
-
-    return ReliableSubgraphResult(
-        vertices=tuple(sorted(selected, key=repr)),
-        reliability=reliability,
-        threshold=threshold,
-        satisfied=reliability >= threshold,
-        expansions=expansions,
-        evaluations=evaluations,
-        history=history,
+    engine = ReliabilityEngine(EstimatorConfig(samples=samples, max_width=max_width))
+    query = ReliableSubgraphQuery(
+        query_vertices=tuple(query_vertices), threshold=threshold, max_size=max_size
     )
-
-
-def _boundary_vertices(graph: UncertainGraph, selected: Set[Vertex]) -> List[Vertex]:
-    """Vertices adjacent to the selection but not in it, most-connected first."""
-    adjacency_count: dict = {}
-    for vertex in selected:
-        for neighbor in graph.neighbors(vertex):
-            if neighbor not in selected:
-                adjacency_count[neighbor] = adjacency_count.get(neighbor, 0) + 1
-    return sorted(adjacency_count, key=lambda v: (-adjacency_count[v], repr(v)))
+    return engine.query(query, graph=graph, rng=resolve_rng(rng))

@@ -16,6 +16,7 @@ legacy one-shot surface as thin shims over that layer:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence
 
@@ -181,11 +182,11 @@ class ReliabilityEstimator:
 
     .. deprecated::
         Kept as a thin shim over the ``"s2bdd"`` backend for backward
-        compatibility.  New code should use
-        :class:`repro.engine.ReliabilityEngine`, which shares one
-        :class:`~repro.engine.config.EstimatorConfig`, caches the
+        compatibility (instantiating it emits a :class:`DeprecationWarning`).
+        New code should use :class:`repro.engine.ReliabilityEngine`, which
+        shares one :class:`~repro.engine.config.EstimatorConfig`, caches the
         2-edge-connected decomposition index across queries, and can answer
-        batches via ``estimate_many``.
+        batches via ``estimate_many`` and typed workloads via ``query``.
 
     Parameters
     ----------
@@ -227,6 +228,13 @@ class ReliabilityEstimator:
         stratum_mass_cutoff: float = 0.5,
         rng: RandomLike = None,
     ) -> None:
+        warnings.warn(
+            "ReliabilityEstimator is deprecated; use "
+            "repro.engine.ReliabilityEngine (EstimatorConfig + prepare() + "
+            "estimate/query) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._config = EstimatorConfig(
             backend="s2bdd",
             samples=samples,
@@ -305,17 +313,28 @@ def estimate_reliability(
     .. deprecated::
         Prefer :class:`repro.engine.ReliabilityEngine` for anything beyond
         a single ad-hoc query; it amortizes preprocessing across queries.
-        This wrapper re-runs the decomposition on every call.
+        This wrapper re-runs the decomposition on every call (and emits a
+        :class:`DeprecationWarning`).
     """
-    return ReliabilityEstimator(
+    warnings.warn(
+        "estimate_reliability is deprecated; use "
+        "repro.engine.ReliabilityEngine (EstimatorConfig + prepare() + "
+        "estimate/query) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = EstimatorConfig(
+        backend="s2bdd",
         samples=samples,
         max_width=max_width,
         estimator=estimator,
         use_extension=use_extension,
         edge_ordering=edge_ordering,
         stratum_mass_cutoff=stratum_mass_cutoff,
-        rng=rng,
-    ).estimate(graph, terminals)
+    )
+    return create_backend("s2bdd", config).estimate(
+        graph, terminals, rng=resolve_rng(rng)
+    )
 
 
 #: Mapping from this function's historical ``method`` names to registry names.

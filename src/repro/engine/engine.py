@@ -8,9 +8,16 @@ graph once (computing and caching its decomposition), then answer many
 queries through :meth:`estimate` and :meth:`estimate_many` with amortized
 preprocessing and reproducible per-query RNG spawning.
 
+Beyond plain estimation, the engine answers every *typed query* of
+:mod:`repro.engine.queries` through one dispatch, :meth:`query` /
+:meth:`query_many`; sampling-driven queries share a cached
+:class:`~repro.engine.worlds.WorldPool` so a multi-query workload samples
+its possible worlds once.
+
 Example
 -------
 >>> from repro.engine import EstimatorConfig, ReliabilityEngine
+>>> from repro.engine.queries import ReliabilitySearchQuery, ThresholdQuery
 >>> from repro.graph.generators import road_network_graph
 >>> graph = road_network_graph(5, 5, rng=1)
 >>> engine = ReliabilityEngine(EstimatorConfig(samples=500, rng=7))
@@ -18,6 +25,10 @@ Example
 >>> results = engine.estimate_many([[0, 12], [0, 24], [4, 20]])
 >>> len(results), engine.stats.decompositions_computed
 (3, 1)
+>>> hit = engine.query(ThresholdQuery(terminals=(0, 12), threshold=0.2))
+>>> search = engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.5))
+>>> isinstance(hit.satisfied, bool), search.samples_used
+(True, 500)
 """
 
 from __future__ import annotations
@@ -27,10 +38,13 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.config import EstimatorConfig
+from repro.engine.queries import Query, QueryContext, QueryResult, validate_query_terminals
 from repro.engine.registry import ReliabilityBackend, create_backend
+from repro.engine.worlds import WorldPool
 from repro.exceptions import ConfigurationError
 from repro.graph.components import GraphDecomposition, decompose_graph
 from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
 
 __all__ = ["EngineStats", "ReliabilityEngine"]
 
@@ -39,7 +53,13 @@ Vertex = Hashable
 #: Odd 64-bit constant (splitmix64's golden-gamma) used to derive distinct,
 #: reproducible per-query seeds from the engine's base seed.
 _QUERY_SEED_STRIDE = 0x9E3779B97F4A7C15
+#: Odd 64-bit salt separating the world-pool seed from the query-seed stream.
+_POOL_SEED_SALT = 0xD1B54A32D192ED03
 _SEED_MASK = (1 << 64) - 1
+
+#: Cached world pools retained per prepared graph; the oldest entry is
+#: evicted beyond this, bounding pool memory for seed-sweeping workloads.
+_MAX_POOLS_PER_GRAPH = 8
 
 
 @dataclass
@@ -57,12 +77,24 @@ class EngineStats:
         How often a query or ``prepare()`` call found its graph's
         decomposition already cached and still valid.
     queries_served:
-        Total number of reliability queries answered.
+        Total number of reliability queries answered (``estimate`` calls
+        and typed ``query`` dispatches alike).
+    world_pools_built:
+        How many possible-world pools were sampled (cache misses plus
+        pools built from caller-supplied generators).
+    world_pool_hits:
+        How often a sampling-driven query found its world pool already
+        cached — each hit is a full resampling pass avoided.
+    worlds_sampled:
+        Total possible worlds drawn across all pool builds.
     """
 
     decompositions_computed: int = 0
     decomposition_cache_hits: int = 0
     queries_served: int = 0
+    world_pools_built: int = 0
+    world_pool_hits: int = 0
+    worlds_sampled: int = 0
 
 
 class ReliabilityEngine:
@@ -99,6 +131,13 @@ class ReliabilityEngine:
         # id(graph) -> (graph, decomposition, topology fingerprint); the
         # strong graph reference keeps identities stable for the cache key.
         self._cache: Dict[int, Tuple[object, GraphDecomposition, Tuple[int, int, int]]] = {}
+        # id(graph) -> (world fingerprint, {(seed, samples): WorldPool},
+        # graph).  Unlike the decomposition, sampled worlds depend on the
+        # edge probabilities too, so the fingerprint here includes them; the
+        # strong graph reference keeps the id-based key stable.
+        self._world_pools: Dict[
+            int, Tuple[Tuple, Dict[Tuple[int, int], WorldPool], object]
+        ] = {}
         self._active: Optional[object] = None
         self._stats = EngineStats()
         # Derive a stable 64-bit base seed for per-query RNG spawning.  An
@@ -139,6 +178,15 @@ class ReliabilityEngine:
             raise ConfigurationError(f"query index must be >= 0, got {index}")
         return (self._base_seed + _QUERY_SEED_STRIDE * (index + 1)) & _SEED_MASK
 
+    def pool_seed(self) -> int:
+        """The deterministic seed of the session's default world pool.
+
+        Derived from the engine's base seed but salted away from the
+        query-seed stream, so pooled worlds are reproducible for an
+        int-seeded config yet independent of any per-query randomness.
+        """
+        return (self._base_seed ^ _POOL_SEED_SALT) & _SEED_MASK
+
     # ------------------------------------------------------------------
     # Session preparation
     # ------------------------------------------------------------------
@@ -168,15 +216,87 @@ class ReliabilityEngine:
         return self
 
     def forget(self, graph) -> None:
-        """Drop ``graph`` from the decomposition cache (no-op if absent)."""
+        """Drop ``graph`` from the decomposition and world-pool caches."""
         self._cache.pop(id(graph), None)
+        self._world_pools.pop(id(graph), None)
         if self._active is graph:
             self._active = None
 
     def reset_cache(self) -> None:
-        """Drop every cached decomposition and the active graph."""
+        """Drop every cached decomposition, world pool, and the active graph."""
         self._cache.clear()
+        self._world_pools.clear()
         self._active = None
+
+    # ------------------------------------------------------------------
+    # Possible-world pool
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _world_fingerprint(graph) -> Tuple:
+        """Stamp invalidating pooled worlds on topology *or* probability change."""
+        return graph.topology_fingerprint() + (
+            hash(tuple(edge.probability for edge in graph.edges())),
+        )
+
+    def world_pool(
+        self,
+        graph=None,
+        *,
+        samples: Optional[int] = None,
+        seed: Optional[int] = None,
+        rng=None,
+    ) -> WorldPool:
+        """Return a pool of sampled possible worlds for ``graph``.
+
+        Pools are cached per graph, keyed by ``(seed, samples)`` and
+        stamped with a fingerprint covering topology and edge
+        probabilities, so a mutated graph is transparently resampled while
+        repeated queries on an unchanged graph share one world set (each
+        reuse counts as a ``world_pool_hits`` in :attr:`stats`).
+
+        Parameters
+        ----------
+        graph:
+            Graph to sample; defaults to the most recently prepared one.
+        samples:
+            Number of worlds; defaults to the configured sample budget.
+        seed:
+            Integer seed of the pool; defaults to :meth:`pool_seed`, the
+            session's deterministic shared-pool seed.
+        rng:
+            A live random source to draw from instead.  Such pools are
+            *not* cached (a generator's state cannot key a cache); this is
+            the explicit per-call resampling path.
+        """
+        graph = self._require_graph(graph)
+        if samples is None:
+            samples = self._config.samples
+        check_positive_int(samples, "samples")
+        if rng is not None:
+            pool = WorldPool(graph, samples=samples, rng=resolve_rng(rng))
+            self._stats.world_pools_built += 1
+            self._stats.worlds_sampled += samples
+            return pool
+        if seed is None:
+            seed = self.pool_seed()
+        fingerprint = self._world_fingerprint(graph)
+        entry = self._world_pools.get(id(graph))
+        if entry is None or entry[0] != fingerprint:
+            entry = (fingerprint, {}, graph)
+            self._world_pools[id(graph)] = entry
+        pools = entry[1]
+        key = (seed, samples)
+        pool = pools.get(key)
+        if pool is not None:
+            self._stats.world_pool_hits += 1
+            return pool
+        pool = WorldPool(graph, samples=samples, rng=random.Random(seed), seed=seed)
+        self._stats.world_pools_built += 1
+        self._stats.worlds_sampled += samples
+        pools[key] = pool
+        while len(pools) > _MAX_POOLS_PER_GRAPH:
+            pools.pop(next(iter(pools)))
+        return pool
 
     # ------------------------------------------------------------------
     # Queries
@@ -200,8 +320,16 @@ class ReliabilityEngine:
         rng:
             Optional per-query random source overriding the engine's
             deterministic query-seed derivation.
+
+        Raises
+        ------
+        TerminalError
+            If the terminal set is empty, contains duplicates, or names
+            vertices absent from the prepared graph (the same validation
+            the typed queries apply).
         """
         graph = self._resolve_graph(graph)
+        terminals = validate_query_terminals(graph, terminals)
         index = self._stats.queries_served
         self._stats.queries_served += 1
         if rng is None:
@@ -225,16 +353,75 @@ class ReliabilityEngine:
         including the per-query RNG seeds — while the graph's decomposition
         index is computed at most once for the whole batch.
         """
-        if graph is None:
-            if self._active is None:
-                raise ConfigurationError(
-                    "no graph prepared; call engine.prepare(graph) first or "
-                    "pass graph=... to the query"
-                )
-            graph = self._active
+        graph = self._require_graph(graph)
         return [self.estimate(terminals, graph=graph) for terminals in terminal_sets]
 
-    def _resolve_graph(self, graph):
+    # ------------------------------------------------------------------
+    # Typed queries
+    # ------------------------------------------------------------------
+    def query(self, query: Query, *, graph=None, rng=None) -> QueryResult:
+        """Answer one typed query (see :mod:`repro.engine.queries`).
+
+        Dispatches on the query's type: estimation-style queries route to
+        the configured backend (reusing the cached decomposition index),
+        sampling-driven queries (search, top-k, clustering, pooled Monte
+        Carlo) read from the session's shared world pool.
+
+        Parameters
+        ----------
+        query:
+            A :class:`~repro.engine.queries.Query` instance, e.g.
+            ``ThresholdQuery(terminals=(0, 5), threshold=0.9)``.
+        graph:
+            Optional graph override; it becomes the session's active graph
+            and is ``prepare()``-d (cached) as soon as an execution path
+            needs the decomposition index.
+        rng:
+            Optional per-query random source.  When given, pooled worlds
+            are drawn from it directly (bypassing the pool cache), which
+            is how the one-shot :mod:`repro.analysis` wrappers reproduce
+            their historical fixed-seed results.
+        """
+        if not isinstance(query, Query):
+            raise ConfigurationError(
+                f"engine.query expects a Query object, got {type(query)!r}; "
+                "build one of the repro.engine.queries types (KTerminalQuery, "
+                "ThresholdQuery, ReliabilitySearchQuery, ...)"
+            )
+        graph = self._require_graph(graph)
+        self._active = graph
+        index = self._stats.queries_served
+        self._stats.queries_served += 1
+        explicit = rng is not None
+        resolved = resolve_rng(rng) if explicit else random.Random(self.query_seed(index))
+
+        def decomposition_provider():
+            # Resolved lazily: purely sampling-driven queries never need
+            # the decomposition index, so it is only (computed and) cached
+            # when a backend-routed execution path asks for it.
+            self.prepare(graph)
+            return self._cache[id(graph)][1]
+
+        context = QueryContext(
+            engine=self,
+            graph=graph,
+            decomposition_provider=decomposition_provider,
+            rng=resolved,
+            explicit_rng=explicit,
+        )
+        return query._execute(context)
+
+    def query_many(self, queries: Iterable[Query], *, graph=None) -> List[QueryResult]:
+        """Answer a batch of typed queries with shared preprocessing.
+
+        Equivalent to calling :meth:`query` once per query — including the
+        per-query RNG seeds — while the decomposition index and the world
+        pool are each built at most once for the whole batch.
+        """
+        graph = self._require_graph(graph)
+        return [self.query(query, graph=graph) for query in queries]
+
+    def _require_graph(self, graph):
         if graph is None:
             if self._active is None:
                 raise ConfigurationError(
@@ -242,5 +429,9 @@ class ReliabilityEngine:
                     "pass graph=... to the query"
                 )
             graph = self._active
+        return graph
+
+    def _resolve_graph(self, graph):
+        graph = self._require_graph(graph)
         self.prepare(graph)
         return graph

@@ -1,0 +1,261 @@
+"""Shared pools of sampled possible worlds.
+
+Sampling-driven workloads — reliability search, top-k ranking, clustering,
+and the plain-sampling backend — all reduce to the same primitive: draw
+``s`` possible worlds of one uncertain graph and ask connectivity questions
+against them.  Before the query layer existed, every analysis resampled its
+own worlds on every call.  :class:`WorldPool` materializes one world set
+*once* (as per-world component labellings, so every later question is a
+lookup) and answers all of those questions from it:
+
+* :meth:`connectivity_frequency` — the Monte Carlo ``R̂[G, T]`` estimate,
+* :meth:`threshold_scan` — "is reliability ≥ η?" with early exit as soon as
+  the remaining worlds cannot change the decision,
+* :meth:`reachability_frequencies` — per-vertex connection probabilities to
+  a source set (the reliability-search screening pass),
+* :meth:`pair_connectivity` — pairwise connection probability (the
+  clustering inner loop).
+
+Pools are cheap to query but linear in ``samples × |V|`` to store, so the
+engine caches a bounded number of them per prepared graph, keyed by seed
+and sample count and invalidated whenever the graph's topology *or* its
+edge probabilities change (see :meth:`ReliabilityEngine.world_pool`).
+
+Reproducibility contract: worlds are drawn with exactly one uniform draw
+per non-loop edge, in edge-id order — the same stream the historical
+``repro.analysis`` samplers consumed — so a pool built from a given seed
+reproduces the pre-pool analysis results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.exceptions import TerminalError
+from repro.utils.rng import RandomLike, resolve_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+if TYPE_CHECKING:
+    from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["ThresholdScan", "WorldPool"]
+
+Vertex = Hashable
+
+
+class ThresholdScan(NamedTuple):
+    """Outcome of :meth:`WorldPool.threshold_scan`.
+
+    Attributes
+    ----------
+    satisfied:
+        Whether the pool's connectivity frequency is ``>= threshold``.
+    positives:
+        Number of connected worlds among the examined ones.
+    examined:
+        How many worlds were examined before the decision was reached.
+    early_exit:
+        ``True`` when the scan stopped before the last world because the
+        remaining worlds could no longer change the decision.
+    """
+
+    satisfied: bool
+    positives: int
+    examined: int
+    early_exit: bool
+
+    @property
+    def frequency(self) -> float:
+        """Connected fraction of the examined worlds (partial when early)."""
+        if self.examined == 0:
+            return 0.0
+        return self.positives / self.examined
+
+
+class WorldPool:
+    """A reusable set of sampled possible worlds of one uncertain graph.
+
+    Each world is stored as a component labelling: vertex ``i`` and vertex
+    ``j`` are connected in world ``w`` iff their labels in ``w`` are equal.
+    That makes every connectivity question a scan of precomputed labels
+    instead of a fresh sampling run.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to sample worlds of.
+    samples:
+        Number of worlds to draw.
+    rng:
+        Seed or generator for the draws (one uniform draw per non-loop
+        edge, in edge-id order).
+    seed:
+        Optional bookkeeping tag recording the integer seed this pool was
+        built from (``None`` for pools built from a live generator).
+    """
+
+    def __init__(
+        self,
+        graph: "UncertainGraph",
+        *,
+        samples: int,
+        rng: RandomLike = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        check_positive_int(samples, "samples")
+        generator = resolve_rng(rng)
+        self._seed = seed
+        self._vertices: List[Vertex] = list(graph.vertices())
+        self._index: Dict[Vertex, int] = {
+            vertex: position for position, vertex in enumerate(self._vertices)
+        }
+        draws: List[Tuple[int, int, float]] = [
+            (self._index[edge.u], self._index[edge.v], edge.probability)
+            for edge in graph.edges()
+            if not edge.is_loop()
+        ]
+        n = len(self._vertices)
+        worlds: List[Tuple[int, ...]] = []
+        for _ in range(samples):
+            parent = list(range(n))
+            for u, v, probability in draws:
+                if generator.random() < probability:
+                    # Union with path halving; the labelling only needs the
+                    # partition, not any particular representative.
+                    while parent[u] != u:
+                        parent[u] = parent[parent[u]]
+                        u = parent[u]
+                    while parent[v] != v:
+                        parent[v] = parent[parent[v]]
+                        v = parent[v]
+                    if u != v:
+                        parent[u] = v
+            labels = []
+            for i in range(n):
+                root = i
+                while parent[root] != root:
+                    parent[root] = parent[parent[root]]
+                    root = parent[root]
+                labels.append(root)
+            worlds.append(tuple(labels))
+        self._worlds = worlds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_worlds(self) -> int:
+        """Number of sampled worlds in the pool."""
+        return len(self._worlds)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the sampled graph."""
+        return len(self._vertices)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The integer seed this pool was built from, if one was recorded."""
+        return self._seed
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldPool(worlds={self.num_worlds}, vertices={self.num_vertices}, "
+            f"seed={self._seed!r})"
+        )
+
+    def _indices(self, vertices: Sequence[Vertex], role: str) -> List[int]:
+        positions = []
+        for vertex in vertices:
+            try:
+                positions.append(self._index[vertex])
+            except KeyError:
+                raise TerminalError(
+                    f"{role} {vertex!r} is not a vertex of the pooled graph"
+                ) from None
+        return positions
+
+    # ------------------------------------------------------------------
+    # Connectivity questions
+    # ------------------------------------------------------------------
+    def connectivity_frequency(self, terminals: Sequence[Vertex]) -> float:
+        """Fraction of worlds in which all ``terminals`` are connected."""
+        positions = self._indices(terminals, "terminal")
+        if not positions:
+            raise TerminalError("the terminal set must not be empty")
+        if len(positions) == 1:
+            return 1.0
+        first, rest = positions[0], positions[1:]
+        positive = 0
+        for labels in self._worlds:
+            root = labels[first]
+            if all(labels[i] == root for i in rest):
+                positive += 1
+        return positive / len(self._worlds)
+
+    def threshold_scan(
+        self, terminals: Sequence[Vertex], threshold: float
+    ) -> ThresholdScan:
+        """Decide ``connectivity_frequency(terminals) >= threshold`` lazily.
+
+        The scan stops as soon as the decision is forced: once the running
+        positive count already reaches ``threshold`` of the *total* pool the
+        answer is ``True`` no matter what the remaining worlds hold, and
+        once even an all-connected tail could not reach it the answer is
+        ``False``.
+        """
+        threshold = check_probability(threshold, "threshold")
+        positions = self._indices(terminals, "terminal")
+        if not positions:
+            raise TerminalError("the terminal set must not be empty")
+        total = len(self._worlds)
+        if len(positions) == 1:
+            return ThresholdScan(True, total, total, False)
+        first, rest = positions[0], positions[1:]
+        positives = 0
+        for examined, labels in enumerate(self._worlds, start=1):
+            root = labels[first]
+            if all(labels[i] == root for i in rest):
+                positives += 1
+            if positives / total >= threshold:
+                return ThresholdScan(True, positives, examined, examined < total)
+            if (positives + (total - examined)) / total < threshold:
+                return ThresholdScan(False, positives, examined, examined < total)
+        return ThresholdScan(positives / total >= threshold, positives, total, False)
+
+    def reachability_frequencies(
+        self, sources: Sequence[Vertex]
+    ) -> Dict[Vertex, float]:
+        """Per-vertex probability of being connected to *all* ``sources``.
+
+        Worlds in which the sources themselves are not mutually connected
+        contribute to no vertex, matching the reliability-search semantics
+        of Khan et al. (EDBT 2014).  The returned dict lists every vertex
+        of the graph, in graph iteration order.
+        """
+        positions = self._indices(sources, "source")
+        if not positions:
+            raise TerminalError("the source set must not be empty")
+        first, rest = positions[0], positions[1:]
+        counts = [0] * len(self._vertices)
+        for labels in self._worlds:
+            root = labels[first]
+            if rest and not all(labels[i] == root for i in rest):
+                continue
+            for position, label in enumerate(labels):
+                if label == root:
+                    counts[position] += 1
+        total = len(self._worlds)
+        return {
+            vertex: counts[position] / total
+            for position, vertex in enumerate(self._vertices)
+        }
+
+    def pair_connectivity(self, a: Vertex, b: Vertex) -> float:
+        """Probability that vertices ``a`` and ``b`` are connected."""
+        if a == b:
+            self._indices((a,), "vertex")
+            return 1.0
+        ia, ib = self._indices((a, b), "vertex")
+        connected = sum(1 for labels in self._worlds if labels[ia] == labels[ib])
+        return connected / len(self._worlds)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments table2
     python -m repro.experiments figure3 --samples 2000 --max-width 1000
     python -m repro.experiments figure3 --backend sampling
+    python -m repro.experiments queries --query-kind search
     python -m repro.experiments all --preset quick
     python -m repro.experiments table3 --preset paper   # very slow
 
@@ -29,11 +30,13 @@ from repro.experiments.runners import (
     run_figure3,
     run_figure4,
     run_figure5,
+    run_queries,
     run_table2,
     run_table3,
     run_table4,
     run_table5,
 )
+from repro.experiments.workloads import QUERY_WORKLOAD_KINDS
 
 _RUNNERS: Dict[str, Callable] = {
     "table2": run_table2,
@@ -45,6 +48,7 @@ _RUNNERS: Dict[str, Callable] = {
     "table5": run_table5,
     "ablation-heuristic": run_ablation_heuristic,
     "ablation-ordering": run_ablation_ordering,
+    "queries": run_queries,
 }
 
 
@@ -101,6 +105,15 @@ def main(argv: Optional[list] = None) -> int:
             f"(registered: {', '.join(available_backends())})"
         ),
     )
+    parser.add_argument(
+        "--query-kind",
+        default="all",
+        choices=("all",) + QUERY_WORKLOAD_KINDS,
+        help=(
+            "typed query kind(s) for the 'queries' experiment: a single "
+            "kind or 'all' for the full mixed workload (default)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -113,6 +126,8 @@ def main(argv: Optional[list] = None) -> int:
             for name, table in run_all(config).items():
                 print(table.render())
                 print()
+        elif args.experiment == "queries":
+            print(run_queries(config, query_kind=args.query_kind).render())
         else:
             print(_RUNNERS[args.experiment](config).render())
     except (ReproError, ValueError) as error:

@@ -17,7 +17,13 @@ Runner             Paper content
 ``run_table4``     accuracy on the affiliation graph (Am-Rv substitute)
 ``run_table5``     extension technique: preprocessing time and reduction
 ``run_ablation_*`` heuristic-deletion and edge-ordering ablations
+``run_queries``    mixed typed-query workload through ``engine.query_many``
 =================  =====================================================
+
+Every per-search estimation is expressed as a typed
+:class:`~repro.engine.queries.KTerminalQuery` answered through
+:meth:`ReliabilityEngine.query`, so the harness exercises the same unified
+query surface the library exposes to users.
 
 Absolute times differ from the paper (pure Python vs C++), so the harness
 is judged on the *shape*: which method wins, by roughly what factor, and
@@ -34,12 +40,17 @@ from repro.core.estimators import EstimatorKind
 from repro.core.frontier import EdgeOrdering
 from repro.core.s2bdd import S2BDD
 from repro.datasets import dataset_spec
-from repro.engine import ReliabilityEngine, create_backend
+from repro.engine import KTerminalQuery, ReliabilityEngine, create_backend
 from repro.exceptions import BDDLimitExceededError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import accuracy_metrics
 from repro.experiments.tables import Table
-from repro.experiments.workloads import DatasetCache, generate_searches
+from repro.experiments.workloads import (
+    QUERY_WORKLOAD_KINDS,
+    DatasetCache,
+    generate_searches,
+    queries_from_searches,
+)
 from repro.preprocess import preprocess
 from repro.utils.timers import Timer
 
@@ -49,6 +60,7 @@ __all__ = [
     "run_figure3",
     "run_figure4",
     "run_figure5",
+    "run_queries",
     "run_table2",
     "run_table3",
     "run_table4",
@@ -131,16 +143,17 @@ def run_figure3(
             sampling_times: List[float] = []
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
+                query = KTerminalQuery(terminals=search.terminals)
                 with Timer() as timer:
-                    pro.estimate(search.terminals, rng=seed)
+                    pro.query(query, rng=seed)
                 pro_times.append(timer.elapsed)
 
                 with Timer() as timer:
-                    no_extension.estimate(search.terminals, rng=seed)
+                    no_extension.query(query, rng=seed)
                 noext_times.append(timer.elapsed)
 
                 with Timer() as timer:
-                    sampler.estimate(search.terminals, rng=seed)
+                    sampler.query(query, rng=seed)
                 sampling_times.append(timer.elapsed)
 
             bdd_cell: object = "-"
@@ -213,12 +226,13 @@ def run_figure4(
             sampling_times: List[float] = []
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
+                query = KTerminalQuery(terminals=search.terminals)
                 with Timer() as timer:
-                    result = pro.estimate(search.terminals, rng=seed)
+                    result = pro.query(query, rng=seed).estimate
                 pro_times.append(timer.elapsed)
 
                 with Timer() as timer:
-                    sampler.estimate(search.terminals, rng=seed)
+                    sampler.query(query, rng=seed)
                 sampling_times.append(timer.elapsed)
 
                 if sampling_times[-1] > 0:
@@ -275,7 +289,9 @@ def run_figure5(
             for index, search in enumerate(searches):
                 seed = config.seed * 1000 + index
                 with Timer() as timer:
-                    result = engine.estimate(search.terminals, rng=seed)
+                    result = engine.query(
+                        KTerminalQuery(terminals=search.terminals), rng=seed
+                    ).estimate
                 times.append(timer.elapsed)
                 peaks.append(max((sub.peak_width for sub in result.subresults), default=0))
             mean_peak = statistics.mean(peaks) if peaks else 0.0
@@ -374,7 +390,9 @@ def _run_accuracy(dataset: str, config: ExperimentConfig) -> Table:
                 repeats: List[float] = []
                 for repeat in range(config.accuracy_repeats):
                     seed = config.seed + 7919 * search_index + repeat
-                    result = engine.estimate(search.terminals, rng=seed)
+                    result = engine.query(
+                        KTerminalQuery(terminals=search.terminals), rng=seed
+                    ).estimate
                     repeats.append(result.reliability)
                     if result.exact:
                         exact_runs += 1
@@ -563,6 +581,76 @@ def run_ablation_ordering(
 
 
 # ----------------------------------------------------------------------
+# Unified query API: mixed workload through engine.query_many
+# ----------------------------------------------------------------------
+def run_queries(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    query_kind: str = "all",
+    dataset: Optional[str] = None,
+) -> Table:
+    """Run a typed-query workload through the unified ``engine.query_many``.
+
+    This is the engine's headline scenario beyond plain estimation: one
+    prepared graph, many heterogeneous analysis queries.  Each requested
+    kind (``--query-kind`` on the CLI) is generated from the same random
+    searches and answered in one batch; the sampling-driven kinds share
+    the session's world pool, which the table's footer reports.
+    """
+    config = config or ExperimentConfig()
+    dataset = dataset or config.large_datasets[0]
+    kinds = QUERY_WORKLOAD_KINDS if query_kind == "all" else (query_kind,)
+    cache = DatasetCache(scale=config.scale)
+    graph = cache.graph(dataset)
+    engine = ReliabilityEngine(config.estimator_config(rng=config.seed))
+    engine.prepare(graph, cache.decomposition(dataset))
+    searches = generate_searches(
+        graph, dataset, config.num_terminals[0], config.num_searches, seed=config.seed
+    )
+    table = Table(
+        title=f"Typed queries on {dataset_spec(dataset).abbreviation} "
+        f"(backend {engine.backend_name!r})",
+        columns=["query kind", "queries", "total [s]", "mean [s]", "result"],
+    )
+    for kind in kinds:
+        queries = queries_from_searches(searches, kind, threshold=0.3)
+        with Timer() as timer:
+            results = engine.query_many(queries)
+        table.add_row(
+            kind,
+            len(results),
+            round(timer.elapsed, 3),
+            round(timer.elapsed / len(results), 4),
+            _summarize_query_result(results[0]),
+        )
+    stats = engine.stats
+    table.add_note(
+        f"shared world pool: {stats.world_pools_built} built, "
+        f"{stats.world_pool_hits} cache hits, {stats.worlds_sampled} worlds "
+        f"sampled for {stats.queries_served} queries"
+    )
+    return table
+
+
+def _summarize_query_result(result) -> str:
+    """One human-readable cell describing the first result of a batch."""
+    kind = type(result).kind
+    if kind == "k-terminal":
+        return f"R={result.reliability:.3f}"
+    if kind == "threshold":
+        return f"satisfied={result.satisfied} (R={result.reliability:.3f})"
+    if kind == "search":
+        return f"{len(result.vertices)} vertices >= eta"
+    if kind == "top-k":
+        return f"top={result.ranking[0][1]:.3f}" if result.ranking else "empty"
+    if kind == "subgraph":
+        return f"size={result.size} R={result.reliability:.3f}"
+    if kind == "clustering":
+        return f"avg conn={result.average_connection_probability():.3f}"
+    return kind
+
+
+# ----------------------------------------------------------------------
 # Convenience: run everything
 # ----------------------------------------------------------------------
 def run_all(config: Optional[ExperimentConfig] = None) -> Dict[str, Table]:
@@ -578,4 +666,5 @@ def run_all(config: Optional[ExperimentConfig] = None) -> Dict[str, Table]:
         "table5": run_table5(config),
         "ablation_heuristic": run_ablation_heuristic(config),
         "ablation_ordering": run_ablation_ordering(config),
+        "queries": run_queries(config),
     }

@@ -2,25 +2,54 @@
 
 A "search" in the paper's terminology is one terminal set drawn uniformly
 at random from the vertices of a dataset (Section 7.2).  The helpers here
-generate reproducible searches and hold a small cache of loaded datasets so
-a multi-table run does not rebuild the same graph repeatedly.
+generate reproducible searches, turn them into typed query objects for the
+engine's unified query API (:func:`queries_from_searches`), and hold a
+small cache of loaded datasets so a multi-table run does not rebuild the
+same graph repeatedly.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.datasets import load_dataset
+from repro.engine.queries import (
+    ClusteringQuery,
+    KTerminalQuery,
+    Query,
+    ReliabilitySearchQuery,
+    ReliableSubgraphQuery,
+    ThresholdQuery,
+    TopKReliableVerticesQuery,
+)
+from repro.exceptions import ConfigurationError
 from repro.graph.components import GraphDecomposition, decompose_graph
 from repro.graph.connectivity import terminals_connected
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import resolve_rng
 
-__all__ = ["DatasetCache", "Search", "generate_searches"]
+__all__ = [
+    "DatasetCache",
+    "QUERY_WORKLOAD_KINDS",
+    "Search",
+    "generate_searches",
+    "queries_from_searches",
+]
 
 Vertex = Hashable
+
+#: Query kinds the mixed-workload runner (and the CLI ``--query-kind``
+#: flag) can emit, in display order.
+QUERY_WORKLOAD_KINDS: Tuple[str, ...] = (
+    "k-terminal",
+    "threshold",
+    "search",
+    "top-k",
+    "subgraph",
+    "clustering",
+)
 
 
 @dataclass(frozen=True)
@@ -96,3 +125,77 @@ def generate_searches(
         terminals = tuple(generator.sample(vertices, min(num_terminals, len(vertices))))
         searches.append(Search(dataset=dataset, terminals=terminals))
     return searches
+
+
+def queries_from_searches(
+    searches: Sequence[Search],
+    kind: str,
+    *,
+    threshold: float = 0.5,
+    top_k: int = 3,
+    num_clusters: int = 2,
+    subgraph_growth: int = 3,
+    samples: Optional[int] = None,
+) -> List[Query]:
+    """Turn generated searches into typed query objects of one ``kind``.
+
+    Each search contributes one query: its terminal set for the estimation
+    kinds, its first terminal(s) as sources/query vertices for the
+    analysis kinds.  This is how the experiment harness emits workloads
+    for :meth:`ReliabilityEngine.query_many` — sampling-driven kinds then
+    share the engine's world pool across the whole batch.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`QUERY_WORKLOAD_KINDS`.
+    threshold:
+        Reliability threshold ``η`` for the threshold/search/subgraph kinds.
+    top_k:
+        ``k`` of the top-k ranking queries.
+    num_clusters:
+        Cluster count of the clustering queries.
+    subgraph_growth:
+        Vertex budget a subgraph query may add beyond its query vertices.
+    samples:
+        Optional per-query world budget for the sampling-driven kinds
+        (defaults to the engine's configured sample budget).
+    """
+    queries: List[Query] = []
+    for search in searches:
+        terminals = search.terminals
+        if kind == "k-terminal":
+            queries.append(KTerminalQuery(terminals=terminals))
+        elif kind == "threshold":
+            queries.append(ThresholdQuery(terminals=terminals, threshold=threshold))
+        elif kind == "search":
+            queries.append(
+                ReliabilitySearchQuery(
+                    sources=terminals[:1], threshold=threshold, samples=samples
+                )
+            )
+        elif kind == "top-k":
+            queries.append(
+                TopKReliableVerticesQuery(
+                    sources=terminals[:1], k=top_k, samples=samples
+                )
+            )
+        elif kind == "subgraph":
+            query_vertices = terminals[:2]
+            queries.append(
+                ReliableSubgraphQuery(
+                    query_vertices=query_vertices,
+                    threshold=threshold,
+                    max_size=len(query_vertices) + subgraph_growth,
+                )
+            )
+        elif kind == "clustering":
+            queries.append(
+                ClusteringQuery(num_clusters=num_clusters, samples=samples)
+            )
+        else:
+            known = ", ".join(repr(name) for name in QUERY_WORKLOAD_KINDS)
+            raise ConfigurationError(
+                f"unknown query workload kind {kind!r}; expected one of: {known}"
+            )
+    return queries

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import random
+import warnings
 
 import pytest
 
@@ -31,6 +32,17 @@ from repro.graph.generators import random_connected_graph
 from tests.conftest import make_random_graph, random_terminals
 
 BUILTIN_BACKENDS = ("s2bdd", "sampling", "exact-bdd", "brute")
+
+
+def legacy_estimate(*args, **kwargs):
+    """Call the deprecated one-shot API without its DeprecationWarning.
+
+    Several tests compare engine results against the legacy surface; the
+    warning itself is covered by tests/test_queries.py.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return estimate_reliability(*args, **kwargs)
 
 
 class TestRegistry:
@@ -190,7 +202,7 @@ class TestReliabilityEngine:
         # Batch results are identical to the legacy one-shot API (which
         # recomputes preprocessing every call) under the same per-query seeds.
         for index, terminals in enumerate(terminal_sets):
-            legacy = estimate_reliability(
+            legacy = legacy_estimate(
                 graph,
                 terminals,
                 samples=300,
@@ -254,7 +266,7 @@ class TestReliabilityEngine:
         # Close the cycle: a second a-d path now backs up the a-b edge.
         graph.add_edge("d", "a", 0.9)
         fresh = engine.estimate(["a", "b"])
-        expected = estimate_reliability(graph, ["a", "b"], samples=100, rng=0)
+        expected = legacy_estimate(graph, ["a", "b"], samples=100, rng=0)
         assert fresh.reliability == pytest.approx(expected.reliability)
         assert fresh.reliability > 0.5  # not the stale bridge-only answer
         assert engine.stats.decompositions_computed == 2
@@ -270,7 +282,7 @@ class TestReliabilityEngine:
         graph = random_connected_graph(15, 30, rng=5)
         engine = ReliabilityEngine(EstimatorConfig(samples=300, max_width=8, rng=1))
         result = engine.estimate([0, 4, 9], graph=graph, rng=42)
-        legacy = estimate_reliability(graph, [0, 4, 9], samples=300, max_width=8, rng=42)
+        legacy = legacy_estimate(graph, [0, 4, 9], samples=300, max_width=8, rng=42)
         assert result.reliability == legacy.reliability
 
 
@@ -304,7 +316,7 @@ class TestBackendsByName:
 class TestReliabilityResultSerialization:
     def test_to_dict_is_json_safe_and_round_trips(self):
         graph = random_connected_graph(12, 22, rng=4)
-        result = estimate_reliability(graph, [0, 5, 9], samples=200, rng=1)
+        result = legacy_estimate(graph, [0, 5, 9], samples=200, rng=1)
         payload = result.to_dict()
         text = json.dumps(payload)  # enums stringified, nothing exotic left
         assert payload["estimator"] == "mc"

@@ -1,0 +1,209 @@
+"""Tests for the shared possible-world pool (repro.engine.worlds)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_reliability
+from repro.engine import EstimatorConfig, ReliabilityEngine, WorldPool
+from repro.engine.queries import (
+    ClusteringQuery,
+    KTerminalQuery,
+    ReliabilitySearchQuery,
+    TopKReliableVerticesQuery,
+)
+from repro.exceptions import ConfigurationError, TerminalError
+from repro.graph.generators import random_connected_graph
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+@pytest.fixture
+def graph() -> UncertainGraph:
+    return random_connected_graph(12, 20, rng=3)
+
+
+def make_engine(graph, **overrides) -> ReliabilityEngine:
+    config = EstimatorConfig(samples=300, rng=5)
+    if overrides:
+        config = config.replace(**overrides)
+    return ReliabilityEngine(config).prepare(graph)
+
+
+class TestWorldPoolPrimitives:
+    def test_frequencies_lie_in_unit_interval(self, graph):
+        pool = WorldPool(graph, samples=200, rng=0)
+        frequencies = pool.reachability_frequencies((0,))
+        assert set(frequencies) == set(graph.vertices())
+        assert all(0.0 <= value <= 1.0 for value in frequencies.values())
+        assert frequencies[0] == 1.0  # a single source always reaches itself
+
+    def test_single_terminal_is_trivially_connected(self, graph):
+        pool = WorldPool(graph, samples=50, rng=0)
+        assert pool.connectivity_frequency((0,)) == 1.0
+
+    def test_pair_connectivity_matches_connectivity_frequency(self, graph):
+        pool = WorldPool(graph, samples=200, rng=1)
+        assert pool.pair_connectivity(0, 5) == pool.connectivity_frequency((0, 5))
+        assert pool.pair_connectivity(4, 4) == 1.0
+
+    def test_frequency_approximates_exact_reliability(self):
+        graph = random_connected_graph(7, 10, rng=4)
+        exact = brute_force_reliability(graph, (0, 5))
+        pool = WorldPool(graph, samples=4_000, rng=9)
+        assert pool.connectivity_frequency((0, 5)) == pytest.approx(exact, abs=0.05)
+
+    def test_certain_edges_give_certain_connectivity(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 1.0), (1, 2, 1.0)])
+        pool = WorldPool(graph, samples=25, rng=0)
+        assert pool.connectivity_frequency((0, 2)) == 1.0
+
+    def test_unknown_vertex_rejected(self, graph):
+        pool = WorldPool(graph, samples=10, rng=0)
+        with pytest.raises(TerminalError):
+            pool.connectivity_frequency((0, "ghost"))
+
+    def test_threshold_scan_full_vs_early(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.95), (1, 2, 0.95)])
+        pool = WorldPool(graph, samples=1_000, rng=2)
+        scan = pool.threshold_scan((0, 2), 0.5)
+        assert scan.satisfied and scan.early_exit and scan.examined < 1_000
+        # The decision agrees with the exhaustive frequency.
+        frequency = pool.connectivity_frequency((0, 2))
+        assert scan.satisfied == (frequency >= 0.5)
+        impossible = pool.threshold_scan((0, 2), 1.0)
+        assert impossible.satisfied == (frequency >= 1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_worlds(self, graph):
+        first = WorldPool(graph, samples=150, rng=21)
+        second = WorldPool(graph, samples=150, rng=21)
+        assert first.reachability_frequencies((0,)) == second.reachability_frequencies((0,))
+        assert first.connectivity_frequency((1, 7)) == second.connectivity_frequency((1, 7))
+
+    def test_engine_pool_deterministic_across_sessions(self, graph):
+        first = make_engine(graph).world_pool()
+        second = make_engine(graph).world_pool()
+        assert first.seed == second.seed
+        assert first.reachability_frequencies((0,)) == second.reachability_frequencies((0,))
+
+    def test_engine_queries_deterministic_across_runs(self, graph):
+        query = ReliabilitySearchQuery(sources=(0,), threshold=0.4)
+        first = make_engine(graph).query(query)
+        second = make_engine(graph).query(query)
+        assert first.probabilities == second.probabilities
+
+
+class TestEnginePoolCache:
+    def test_queries_share_one_pool(self, graph):
+        engine = make_engine(graph)
+        engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.5))
+        engine.query(TopKReliableVerticesQuery(sources=(1,), k=3))
+        engine.query(ClusteringQuery(num_clusters=2))
+        stats = engine.stats
+        assert stats.world_pools_built == 1
+        assert stats.world_pool_hits == 2
+        assert stats.worlds_sampled == 300
+
+    def test_distinct_sample_budgets_get_distinct_pools(self, graph):
+        engine = make_engine(graph)
+        engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.5, samples=100))
+        engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.5, samples=200))
+        assert engine.stats.world_pools_built == 2
+        assert engine.stats.world_pool_hits == 0
+
+    def test_explicit_rng_bypasses_cache(self, graph):
+        engine = make_engine(graph)
+        query = ReliabilitySearchQuery(sources=(0,), threshold=0.5)
+        engine.query(query, rng=random.Random(1))
+        engine.query(query, rng=random.Random(1))
+        assert engine.stats.world_pools_built == 2
+        assert engine.stats.world_pool_hits == 0
+
+    def test_topology_change_invalidates_pool(self):
+        graph = UncertainGraph.from_edge_list(
+            [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]
+        )
+        engine = make_engine(graph)
+        stale = engine.query(KTerminalQuery(terminals=(0, 3)))
+        graph.add_edge(3, 0, 1.0)
+        fresh = engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.1))
+        assert engine.stats.world_pools_built >= 1
+        # The new edge is certain, so 0 and 3 are now always connected.
+        assert fresh.probability(3) == 1.0
+
+    def test_probability_change_invalidates_pool(self):
+        graph = UncertainGraph.from_edge_list([(0, 1, 0.5), (1, 2, 0.5)])
+        engine = make_engine(graph, backend="sampling")
+        engine.query(KTerminalQuery(terminals=(0, 1)))
+        first_builds = engine.stats.world_pools_built
+        graph.set_probability(0, 1.0)
+        result = engine.query(KTerminalQuery(terminals=(0, 1)))
+        assert engine.stats.world_pools_built == first_builds + 1
+        assert result.reliability == 1.0
+
+    def test_forget_drops_pools(self, graph):
+        engine = make_engine(graph)
+        engine.query(ClusteringQuery(num_clusters=2))
+        engine.forget(graph)
+        engine.prepare(graph)
+        engine.query(ClusteringQuery(num_clusters=2))
+        assert engine.stats.world_pools_built == 2
+
+    def test_pool_cache_bounded(self, graph):
+        engine = make_engine(graph)
+        for samples in range(10, 40):
+            engine.world_pool(samples=samples)
+        # Only the newest pools are retained; re-requesting an evicted one
+        # rebuilds it instead of growing without bound.
+        engine.world_pool(samples=10)
+        assert engine.stats.world_pools_built == 31
+
+    def test_world_pool_requires_graph(self):
+        engine = ReliabilityEngine(EstimatorConfig(samples=10))
+        with pytest.raises(ConfigurationError):
+            engine.world_pool()
+
+    def test_invalid_samples_rejected(self, graph):
+        engine = make_engine(graph)
+        with pytest.raises(ConfigurationError):
+            engine.world_pool(samples=0)
+
+
+class TestCrossQueryConsistency:
+    """Different query kinds answered from one pool agree with each other."""
+
+    def test_search_vs_pooled_k_terminal(self, graph):
+        engine = make_engine(graph, backend="sampling")
+        search = engine.query(ReliabilitySearchQuery(sources=(3,), threshold=0.0))
+        for vertex in (0, 5, 8):
+            direct = engine.query(KTerminalQuery(terminals=(3, vertex)))
+            assert direct.reliability == search.probability(vertex)
+        assert engine.stats.world_pools_built == 1
+        assert engine.stats.world_pool_hits >= 3
+
+    def test_top_k_is_prefix_of_search_ranking(self, graph):
+        engine = make_engine(graph)
+        search = engine.query(ReliabilitySearchQuery(sources=(0,), threshold=0.0))
+        top = engine.query(TopKReliableVerticesQuery(sources=(0,), k=4))
+        expected = sorted(
+            (
+                (vertex, probability)
+                for vertex, probability in search.probabilities.items()
+                if vertex != 0
+            ),
+            key=lambda item: (-item[1], repr(item[0])),
+        )[:4]
+        assert list(top.ranking) == expected
+        assert engine.stats.world_pool_hits >= 1
+
+    def test_clustering_probabilities_come_from_the_pool(self, graph):
+        engine = make_engine(graph)
+        clustering = engine.query(ClusteringQuery(num_clusters=2))
+        pool = engine.world_pool()
+        for vertex, center in clustering.assignment.items():
+            assert clustering.connection_probability[vertex] == pool.pair_connectivity(
+                vertex, center
+            )
