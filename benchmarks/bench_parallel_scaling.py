@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Benchmark: parallel sharded workload execution vs. serial.
+
+Answers one mixed typed-query workload (all six query kinds, interleaved)
+three ways — serially and sharded over 2 and 4 worker processes — and
+writes a machine-readable ``BENCH_parallel.json`` with the wall-clock
+times, the speedups, and a **parity checksum** proving the parallel runs
+returned bit-for-bit the results of the serial run (wall-clock timing
+fields aside; see :func:`repro.engine.parallel.results_checksum`).
+
+This file starts the repository's performance trajectory: every run emits
+the same JSON shape, so successive commits can be compared directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --dataset dblp1 --queries 48 --workers 2,4,8 --out BENCH_parallel.json
+
+Exit status is non-zero when any parallel run diverges from serial, so CI
+can gate on parity without parsing the JSON.  Speedup is hardware-bound:
+a 4-worker run can only beat serial when the machine actually exposes
+multiple cores (the JSON records ``cpu_count`` next to the numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine import EstimatorConfig, ReliabilityEngine, results_checksum
+from repro.experiments.workloads import (
+    DatasetCache,
+    generate_searches,
+    queries_from_searches,
+)
+
+#: Query kinds of the benchmark workload, interleaved in this order so
+#: every shard of a round-robin plan receives a comparable kind mix.
+WORKLOAD_KINDS = ("k-terminal", "threshold", "search", "top-k", "clustering", "subgraph")
+
+
+def build_workload(graph, dataset: str, num_queries: int, seed: int) -> List:
+    """An interleaved mixed-kind workload of exactly ``num_queries`` queries."""
+    searches_needed = -(-num_queries // len(WORKLOAD_KINDS))  # ceil
+    searches = generate_searches(graph, dataset, 3, searches_needed, seed=seed)
+    per_kind = {
+        kind: queries_from_searches(searches, kind, threshold=0.3)
+        for kind in WORKLOAD_KINDS
+    }
+    queries = []
+    position = 0
+    while len(queries) < num_queries:
+        kind = WORKLOAD_KINDS[position % len(WORKLOAD_KINDS)]
+        queries.append(per_kind[kind][position // len(WORKLOAD_KINDS)])
+        position += 1
+    return queries
+
+
+def run_once(graph, decomposition, config: EstimatorConfig, queries, workers: int):
+    """One timed pass over the workload on a fresh session."""
+    engine = ReliabilityEngine(config).prepare(graph, decomposition)
+    started = time.perf_counter()
+    results = engine.query_many(queries, workers=workers)
+    elapsed = time.perf_counter() - started
+    return elapsed, results_checksum(results), engine.stats
+
+
+def benchmark(
+    *,
+    dataset: str,
+    num_queries: int,
+    samples: int,
+    worker_counts: Sequence[int],
+    seed: int,
+    backend: str,
+) -> Dict:
+    cache = DatasetCache(scale="bench")
+    graph = cache.graph(dataset)
+    decomposition = cache.decomposition(dataset)
+    queries = build_workload(graph, dataset, num_queries, seed)
+    config = EstimatorConfig(backend=backend, samples=samples, max_width=512, rng=seed)
+
+    serial_seconds, serial_checksum, serial_stats = run_once(
+        graph, decomposition, config, queries, workers=1
+    )
+    runs = []
+    all_equal = True
+    for workers in worker_counts:
+        seconds, checksum, _ = run_once(
+            graph, decomposition, config, queries, workers=workers
+        )
+        parity = checksum == serial_checksum
+        all_equal = all_equal and parity
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "speedup": round(serial_seconds / seconds, 3) if seconds > 0 else None,
+                "checksum": checksum,
+                "parity": parity,
+            }
+        )
+    return {
+        "benchmark": "parallel_scaling",
+        "dataset": dataset,
+        "backend": backend,
+        "num_queries": num_queries,
+        "samples": samples,
+        "seed": seed,
+        "kinds": list(WORKLOAD_KINDS),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "checksum": serial_checksum,
+            "worlds_sampled": serial_stats.worlds_sampled,
+            "queries_served": serial_stats.queries_served,
+        },
+        "runs": runs,
+        "parity": {
+            "checksum": serial_checksum,
+            "all_equal": all_equal,
+            "excludes": ["elapsed_seconds", "preprocess_seconds"],
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs. sharded execution of a mixed query workload."
+    )
+    parser.add_argument("--dataset", default="tokyo", help="bench-scale dataset key")
+    parser.add_argument("--queries", type=int, default=36, help="workload size (>= 32 for the tracked run)")
+    parser.add_argument("--samples", type=int, default=1_000, help="world-pool sample budget")
+    parser.add_argument("--workers", default="2,4", help="comma-separated worker counts to time")
+    parser.add_argument("--seed", type=int, default=2019, help="workload and engine seed")
+    parser.add_argument("--backend", default="sampling", help="reliability backend")
+    parser.add_argument("--out", default="BENCH_parallel.json", help="output JSON path")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: 12 queries, 400 samples, 2 workers only",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.queries = 12
+        args.samples = 400
+        args.workers = "2"
+
+    worker_counts = [int(token) for token in args.workers.split(",") if token.strip()]
+    payload = benchmark(
+        dataset=args.dataset,
+        num_queries=args.queries,
+        samples=args.samples,
+        worker_counts=worker_counts,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    print(
+        f"{payload['num_queries']} queries on {payload['dataset']!r} "
+        f"({payload['backend']}, s={payload['samples']}, "
+        f"{payload['cpu_count']} CPUs): serial {payload['serial']['seconds']}s"
+    )
+    for run in payload["runs"]:
+        print(
+            f"  workers={run['workers']}: {run['seconds']}s "
+            f"(speedup {run['speedup']}x, parity={'ok' if run['parity'] else 'FAIL'})"
+        )
+    print(f"wrote {args.out}")
+
+    if not payload["parity"]["all_equal"]:
+        print("error: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

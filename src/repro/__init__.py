@@ -68,6 +68,7 @@ from repro.engine import (
     ClusteringQuery,
     EngineStats,
     EstimatorConfig,
+    ExecutionPlan,
     KTerminalQuery,
     Query,
     QueryResult,
@@ -81,9 +82,11 @@ from repro.engine import (
     WorldPool,
     available_backends,
     create_backend,
+    default_worker_count,
     query_from_dict,
     register_backend,
     result_from_dict,
+    results_checksum,
 )
 from repro.exceptions import (
     BDDLimitExceededError,
@@ -113,6 +116,7 @@ __all__ = [
     "EstimatorError",
     "EstimatorKind",
     "ExactBDD",
+    "ExecutionPlan",
     "GraphError",
     "InvalidProbabilityError",
     "KTerminalQuery",
@@ -139,6 +143,7 @@ __all__ = [
     "available_backends",
     "brute_force_reliability",
     "create_backend",
+    "default_worker_count",
     "estimate_reliability",
     "exact_bdd_reliability",
     "exact_reliability",
@@ -147,4 +152,5 @@ __all__ = [
     "reduced_sample_count",
     "register_backend",
     "result_from_dict",
+    "results_checksum",
 ]

@@ -20,7 +20,11 @@ This package is the library's query layer:
 * :mod:`repro.engine.engine` — :class:`ReliabilityEngine`, the session
   object that prepares a graph once (caching its 2-edge-connected
   decomposition index) and then serves many queries with amortized
-  preprocessing.
+  preprocessing,
+* :mod:`repro.engine.parallel` — the process-based parallel executor:
+  ``estimate_many`` / ``query_many`` accept a ``workers=`` knob (or the
+  ``EstimatorConfig.workers`` session default) that shards a batch over
+  worker processes with results bit-identical to serial execution.
 
 Example
 -------
@@ -40,6 +44,11 @@ Example
 
 from repro.engine.config import EstimatorConfig
 from repro.engine.engine import EngineStats, ReliabilityEngine
+from repro.engine.parallel import (
+    ExecutionPlan,
+    default_worker_count,
+    results_checksum,
+)
 from repro.engine.queries import (
     ALL_QUERY_KINDS,
     ClusteringQuery,
@@ -79,6 +88,7 @@ __all__ = [
     "ClusteringResult",
     "EngineStats",
     "EstimatorConfig",
+    "ExecutionPlan",
     "KTerminalQuery",
     "KTerminalResult",
     "Query",
@@ -99,10 +109,12 @@ __all__ = [
     "available_backends",
     "backend_factory",
     "create_backend",
+    "default_worker_count",
     "query_from_dict",
     "register_backend",
     "require_backend",
     "result_from_dict",
+    "results_checksum",
     "unregister_backend",
     "validate_query_terminals",
 ]

@@ -33,6 +33,7 @@ Example
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -95,6 +96,41 @@ class EngineStats:
     world_pools_built: int = 0
     world_pool_hits: int = 0
     worlds_sampled: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counters."""
+        return dataclasses.replace(self)
+
+    def since(self, baseline: "EngineStats") -> "EngineStats":
+        """The counter deltas accumulated since ``baseline`` was snapshotted.
+
+        This is how a parallel worker reports what *it* did: the shard
+        takes a snapshot after its setup (prepare + pool injection) and
+        sends back only the per-query increments.
+        """
+        return EngineStats(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(baseline, spec.name)
+                for spec in dataclasses.fields(self)
+            }
+        )
+
+    def merge(
+        self, other: "EngineStats", *, include_queries_served: bool = True
+    ) -> None:
+        """Add another session's (or worker shard's) counters into this one.
+
+        The parallel executor aggregates every worker's delta through this
+        method so a sharded batch reports its *total* decomposition hits,
+        pool hits, and worlds sampled — not just the parent process's.
+        ``include_queries_served=False`` skips the query counter, which the
+        parent reserves up-front (it doubles as the per-query seed cursor,
+        so it must advance exactly once per submitted query).
+        """
+        for spec in dataclasses.fields(self):
+            if spec.name == "queries_served" and not include_queries_served:
+                continue
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
 
 
 class ReliabilityEngine:
@@ -254,6 +290,11 @@ class ReliabilityEngine:
         repeated queries on an unchanged graph share one world set (each
         reuse counts as a ``world_pool_hits`` in :attr:`stats`).
 
+        Seeded pools use the chunked sampling scheme of
+        :meth:`WorldPool.from_seed`, whose per-chunk seed derivation makes
+        the pool identical whether it is built here in one pass or
+        assembled from disjoint chunk ranges sampled on parallel workers.
+
         Parameters
         ----------
         graph:
@@ -279,23 +320,64 @@ class ReliabilityEngine:
             return pool
         if seed is None:
             seed = self.pool_seed()
-        fingerprint = self._world_fingerprint(graph)
-        entry = self._world_pools.get(id(graph))
-        if entry is None or entry[0] != fingerprint:
-            entry = (fingerprint, {}, graph)
-            self._world_pools[id(graph)] = entry
-        pools = entry[1]
+        pools = self._pool_cache_for(graph)
         key = (seed, samples)
         pool = pools.get(key)
         if pool is not None:
             self._stats.world_pool_hits += 1
             return pool
-        pool = WorldPool(graph, samples=samples, rng=random.Random(seed), seed=seed)
+        pool = WorldPool.from_seed(graph, samples=samples, seed=seed)
         self._stats.world_pools_built += 1
         self._stats.worlds_sampled += samples
+        self._store_pool(pools, key, pool)
+        return pool
+
+    def _pool_cache_for(self, graph) -> Dict[Tuple[int, int], WorldPool]:
+        """The graph's pool cache, freshly keyed on any fingerprint change."""
+        fingerprint = self._world_fingerprint(graph)
+        entry = self._world_pools.get(id(graph))
+        if entry is None or entry[0] != fingerprint:
+            entry = (fingerprint, {}, graph)
+            self._world_pools[id(graph)] = entry
+        return entry[1]
+
+    @staticmethod
+    def _store_pool(
+        pools: Dict[Tuple[int, int], WorldPool], key: Tuple[int, int], pool: WorldPool
+    ) -> None:
         pools[key] = pool
         while len(pools) > _MAX_POOLS_PER_GRAPH:
             pools.pop(next(iter(pools)))
+
+    def _cached_pool(
+        self, graph, seed: int, samples: int
+    ) -> Optional[WorldPool]:
+        """Peek at the pool cache without building or counting anything."""
+        entry = self._world_pools.get(id(graph))
+        if entry is None or entry[0] != self._world_fingerprint(graph):
+            return None
+        return entry[1].get((seed, samples))
+
+    def _install_pool(
+        self, graph, *, seed: int, samples: int, labels: Sequence[Tuple[int, ...]]
+    ) -> WorldPool:
+        """Adopt externally sampled worlds as the cached ``(seed, samples)`` pool.
+
+        Used by the parallel executor on both sides: the parent installs a
+        pool it assembled from worker-sampled chunks, and each worker
+        installs the pool the parent shipped so its pooled queries are
+        cache hits instead of per-worker resampling passes.  Counting the
+        build (or not) is the caller's concern — this method only caches.
+        ``labels`` must be the seeded scheme's worlds for ``(seed,
+        samples)``: the cache key promises exactly that content to every
+        later engine-managed query.
+        """
+        if len(labels) != samples:
+            raise ConfigurationError(
+                f"expected {samples} world labellings, got {len(labels)}"
+            )
+        pool = WorldPool.from_labels(graph, labels, seed=seed)
+        self._store_pool(self._pool_cache_for(graph), (seed, samples), pool)
         return pool
 
     # ------------------------------------------------------------------
@@ -307,6 +389,7 @@ class ReliabilityEngine:
         *,
         graph=None,
         rng=None,
+        seed_index: Optional[int] = None,
     ):
         """Answer one reliability query on the active (or given) graph.
 
@@ -320,6 +403,12 @@ class ReliabilityEngine:
         rng:
             Optional per-query random source overriding the engine's
             deterministic query-seed derivation.
+        seed_index:
+            Pin the query to :meth:`query_seed(seed_index) <query_seed>`
+            instead of the session's running counter.  This is how a
+            parallel worker (or a caller replaying one query of a batch)
+            reproduces the exact random stream query ``seed_index`` of a
+            serial session would consume.  Mutually exclusive with ``rng``.
 
         Raises
         ------
@@ -330,12 +419,7 @@ class ReliabilityEngine:
         """
         graph = self._resolve_graph(graph)
         terminals = validate_query_terminals(graph, terminals)
-        index = self._stats.queries_served
-        self._stats.queries_served += 1
-        if rng is None:
-            rng = random.Random(self.query_seed(index))
-        else:
-            rng = resolve_rng(rng)
+        rng = self._query_rng(rng, seed_index)
         decomposition = self._cache[id(graph)][1]
         return self._backend.estimate(
             graph, terminals, rng=rng, decomposition=decomposition
@@ -346,20 +430,44 @@ class ReliabilityEngine:
         terminal_sets: Iterable[Sequence[Vertex]],
         *,
         graph=None,
+        workers: Optional[int] = None,
     ) -> List:
         """Answer a batch of queries with amortized preprocessing.
 
         Equivalent to calling :meth:`estimate` once per terminal set —
         including the per-query RNG seeds — while the graph's decomposition
         index is computed at most once for the whole batch.
+
+        Parameters
+        ----------
+        workers:
+            Shard the batch over this many worker processes (see
+            :mod:`repro.engine.parallel`).  Defaults to the configured
+            ``EstimatorConfig.workers``; ``1`` (the default) runs serially
+            in-process.  Results are bit-identical either way: each shard
+            re-derives its queries' seeds from their submission indices
+            and the merge step restores submission order.
         """
         graph = self._require_graph(graph)
-        return [self.estimate(terminals, graph=graph) for terminals in terminal_sets]
+        items = [tuple(terminals) for terminals in terminal_sets]
+        workers = self._resolve_workers(workers, len(items))
+        if workers <= 1:
+            return [self.estimate(terminals, graph=graph) for terminals in items]
+        from repro.engine.parallel import execute_batch
+
+        return execute_batch(self, graph, items, mode="estimate", workers=workers)
 
     # ------------------------------------------------------------------
     # Typed queries
     # ------------------------------------------------------------------
-    def query(self, query: Query, *, graph=None, rng=None) -> QueryResult:
+    def query(
+        self,
+        query: Query,
+        *,
+        graph=None,
+        rng=None,
+        seed_index: Optional[int] = None,
+    ) -> QueryResult:
         """Answer one typed query (see :mod:`repro.engine.queries`).
 
         Dispatches on the query's type: estimation-style queries route to
@@ -381,19 +489,18 @@ class ReliabilityEngine:
             are drawn from it directly (bypassing the pool cache), which
             is how the one-shot :mod:`repro.analysis` wrappers reproduce
             their historical fixed-seed results.
+        seed_index:
+            Pin the query to :meth:`query_seed(seed_index) <query_seed>`
+            instead of the session's running counter, reproducing the
+            random stream of query ``seed_index`` of a serial batch.
+            Mutually exclusive with ``rng``; unlike ``rng`` this keeps the
+            engine-managed (pool-sharing) execution paths.
         """
-        if not isinstance(query, Query):
-            raise ConfigurationError(
-                f"engine.query expects a Query object, got {type(query)!r}; "
-                "build one of the repro.engine.queries types (KTerminalQuery, "
-                "ThresholdQuery, ReliabilitySearchQuery, ...)"
-            )
+        self._require_query(query)
         graph = self._require_graph(graph)
         self._active = graph
-        index = self._stats.queries_served
-        self._stats.queries_served += 1
         explicit = rng is not None
-        resolved = resolve_rng(rng) if explicit else random.Random(self.query_seed(index))
+        resolved = self._query_rng(rng, seed_index)
 
         def decomposition_provider():
             # Resolved lazily: purely sampling-driven queries never need
@@ -411,15 +518,99 @@ class ReliabilityEngine:
         )
         return query._execute(context)
 
-    def query_many(self, queries: Iterable[Query], *, graph=None) -> List[QueryResult]:
+    def query_many(
+        self,
+        queries: Iterable[Query],
+        *,
+        graph=None,
+        workers: Optional[int] = None,
+    ) -> List[QueryResult]:
         """Answer a batch of typed queries with shared preprocessing.
 
         Equivalent to calling :meth:`query` once per query — including the
         per-query RNG seeds — while the decomposition index and the world
         pool are each built at most once for the whole batch.
+
+        Parameters
+        ----------
+        workers:
+            Shard the batch over this many worker processes (see
+            :mod:`repro.engine.parallel`).  Defaults to the configured
+            ``EstimatorConfig.workers``; ``1`` (the default) runs serially
+            in-process.  Results are bit-identical either way (timing
+            fields aside): shards re-derive their queries' seeds from the
+            submission indices, pooled worlds come from one shared pool
+            sampled in order-stable chunks, and the merge step restores
+            submission order.
         """
         graph = self._require_graph(graph)
-        return [self.query(query, graph=graph) for query in queries]
+        items = list(queries)
+        workers = self._resolve_workers(workers, len(items))
+        if workers <= 1 or any(not isinstance(query, Query) for query in items):
+            # The second disjunct replicates serial failure semantics for a
+            # malformed batch exactly: the valid prefix runs (advancing the
+            # seed cursor and session state as serial would) and the first
+            # non-Query item raises in place.
+            return [self.query(query, graph=graph) for query in items]
+        from repro.engine.parallel import execute_batch
+
+        # Serial query() makes `graph` the session's active graph on every
+        # call; the sharded path must leave the same session state behind.
+        self._active = graph
+        return execute_batch(self, graph, items, mode="query", workers=workers)
+
+    def execution_plan(self, queries: Iterable[Query], *, workers: Optional[int] = None):
+        """The :class:`~repro.engine.parallel.ExecutionPlan` a parallel batch would use.
+
+        Purely introspective: computes the shard assignment and the world
+        pools the executor would pre-build for ``queries`` without running
+        anything.  ``workers`` defaults to the configured parallelism and
+        is clamped to the batch size exactly as :meth:`query_many` does.
+        """
+        from repro.engine.parallel import ExecutionPlan, pooled_sample_budgets
+
+        items = list(queries)
+        for query in items:
+            self._require_query(query)
+        workers = self._resolve_workers(workers, len(items))
+        return ExecutionPlan.for_batch(
+            len(items),
+            workers,
+            pool_samples=pooled_sample_budgets(self._config, items),
+        )
+
+    @staticmethod
+    def _require_query(query) -> None:
+        if not isinstance(query, Query):
+            raise ConfigurationError(
+                f"engine.query expects a Query object, got {type(query)!r}; "
+                "build one of the repro.engine.queries types (KTerminalQuery, "
+                "ThresholdQuery, ReliabilitySearchQuery, ...)"
+            )
+
+    def _query_rng(self, rng, seed_index: Optional[int]) -> random.Random:
+        """Resolve one query's random source and advance the query counter."""
+        if rng is not None and seed_index is not None:
+            raise ConfigurationError(
+                "pass either rng or seed_index, not both: rng overrides the "
+                "engine's seed schedule, seed_index pins a position in it"
+            )
+        if seed_index is not None:
+            seed = self.query_seed(seed_index)  # validates seed_index >= 0
+            self._stats.queries_served += 1
+            return random.Random(seed)
+        index = self._stats.queries_served
+        self._stats.queries_served += 1
+        if rng is None:
+            return random.Random(self.query_seed(index))
+        return resolve_rng(rng)
+
+    def _resolve_workers(self, workers: Optional[int], num_items: int) -> int:
+        """Validate the ``workers`` knob and clamp it to the batch size."""
+        if workers is None:
+            workers = self._config.workers
+        check_positive_int(workers, "workers")
+        return min(workers, num_items) if num_items else 1
 
     def _require_graph(self, graph):
         if graph is None:

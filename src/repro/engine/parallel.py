@@ -1,0 +1,468 @@
+"""Process-based parallel execution of engine workloads.
+
+The engine amortizes preparation (one decomposition index, one world pool)
+across a batch, but until this module existed every query of
+``estimate_many`` / ``query_many`` still ran serially in one process.  The
+parallel executor shards a batch over worker processes while keeping the
+results **bit-identical to serial execution** (wall-clock timing fields
+aside — see :func:`results_checksum`):
+
+* *Per-query randomness*: query ``i`` of a batch always consumes
+  ``random.Random(engine.query_seed(start + i))``, where ``start`` is the
+  session's query counter at submission.  The parent reserves the seed
+  range up-front and each worker re-derives its queries' seeds from their
+  submission indices (``seed_index=`` on :meth:`ReliabilityEngine.query`),
+  so the shard assignment cannot change any query's random stream.
+* *Possible worlds*: the seeded pool scheme samples worlds in fixed-size
+  chunks with independently derived chunk seeds
+  (:func:`repro.engine.worlds.chunk_seed`).  The parent distributes
+  disjoint, order-stable chunk ranges over the workers, reassembles the
+  labellings in chunk order, and ships the finished pool to every query
+  shard — the exact pool a serial session builds.
+* *Merge*: results come back tagged with their submission indices and are
+  reassembled in submission order; worker :class:`EngineStats` deltas are
+  aggregated into the parent session's counters.
+
+The unit of distribution is the :class:`ExecutionPlan`, exposed through
+:meth:`ReliabilityEngine.execution_plan` for introspection and tests.
+
+Example
+-------
+>>> from repro.engine import EstimatorConfig, ReliabilityEngine
+>>> from repro.engine.queries import KTerminalQuery
+>>> from repro.graph.generators import road_network_graph
+>>> engine = ReliabilityEngine(EstimatorConfig(samples=200, rng=7))
+>>> _ = engine.prepare(road_network_graph(4, 4, rng=1))
+>>> queries = [KTerminalQuery(terminals=(0, v)) for v in (5, 10, 15)]
+>>> serial = engine.query_many(queries)
+>>> fresh = ReliabilityEngine(EstimatorConfig(samples=200, rng=7))
+>>> _ = fresh.prepare(road_network_graph(4, 4, rng=1))
+>>> parallel = fresh.query_many(queries, workers=2)
+>>> results_checksum(serial) == results_checksum(parallel)
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.config import EstimatorConfig
+from repro.engine.queries import pooled_backend_estimation
+from repro.engine.worlds import chunk_spans, sample_world_chunks
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ExecutionPlan",
+    "default_worker_count",
+    "execute_batch",
+    "pooled_sample_budgets",
+    "results_checksum",
+]
+
+#: Wall-clock fields excluded from the parity checksum: they are the only
+#: result content that legitimately differs between two executions of the
+#: same workload.
+TIMING_FIELDS = frozenset({"elapsed_seconds", "preprocess_seconds"})
+
+
+def default_worker_count() -> int:
+    """The machine-matching worker count (``os.cpu_count()``, at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _mp_context():
+    """The multiprocessing context used for worker pools.
+
+    ``fork`` is preferred where available: workers inherit the interpreter
+    state (including any per-process hash seed), which keeps worker-side
+    ordering identical to the parent without re-importing the library.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one batch is sharded over worker processes.
+
+    Attributes
+    ----------
+    total_queries:
+        Number of queries in the batch.
+    workers:
+        Worker processes the batch runs on (already clamped to the batch
+        size by :meth:`ReliabilityEngine._resolve_workers`).
+    shards:
+        One tuple of submission indices per worker.  Indices are dealt
+        round-robin so heterogeneous workloads (e.g. a mixed-kind batch)
+        spread their heavy kinds across shards.
+    pool_samples:
+        Distinct world-pool sample budgets the executor pre-builds in
+        parallel (empty when no query of the batch reads from a pool).
+        Pools are always sampled in :data:`~repro.engine.worlds.WORLD_CHUNK_SIZE`
+        chunks — the chunk size is part of the seeded scheme's
+        reproducibility contract, so it is deliberately not a plan knob.
+    """
+
+    total_queries: int
+    workers: int
+    shards: Tuple[Tuple[int, ...], ...]
+    pool_samples: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.total_queries < 0:
+            raise ConfigurationError(
+                f"total_queries must be >= 0, got {self.total_queries}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        covered = sorted(index for shard in self.shards for index in shard)
+        if covered != list(range(self.total_queries)):
+            raise ConfigurationError(
+                "plan shards must partition the submission indices "
+                f"0..{self.total_queries - 1} exactly once"
+            )
+        for samples in self.pool_samples:
+            if samples < 1:
+                raise ConfigurationError(
+                    f"pool_samples entries must be >= 1, got {samples}"
+                )
+
+    @classmethod
+    def for_batch(
+        cls,
+        num_queries: int,
+        workers: int,
+        *,
+        pool_samples: Sequence[int] = (),
+    ) -> "ExecutionPlan":
+        """Deal ``num_queries`` submission indices round-robin over ``workers``."""
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        workers = min(workers, num_queries) if num_queries else 1
+        shards = tuple(
+            tuple(range(worker, num_queries, workers)) for worker in range(workers)
+        )
+        return cls(
+            total_queries=num_queries,
+            workers=workers,
+            shards=shards,
+            pool_samples=tuple(sorted(set(pool_samples))),
+        )
+
+
+def pooled_sample_budgets(
+    config: EstimatorConfig, queries: Iterable[Any]
+) -> Tuple[int, ...]:
+    """The distinct world-pool sample budgets ``queries`` will read from.
+
+    Driven by each query class's :attr:`~repro.engine.queries.Query.pool_usage`
+    declaration: ``"always"`` kinds read a pool of their own ``samples``
+    budget (the configured one when unset), ``"backend"`` kinds only read
+    the default pool when :func:`pooled_backend_estimation` holds for the
+    session's config.  The executor pre-builds exactly these pools in
+    parallel and ships them to every shard.
+    """
+    backend_pooled = pooled_backend_estimation(config)
+    budgets = set()
+    for query in queries:
+        usage = getattr(type(query), "pool_usage", "never")
+        if usage == "always":
+            budgets.add(getattr(query, "samples", None) or config.samples)
+        elif usage == "backend" and backend_pooled:
+            budgets.add(config.samples)
+    return tuple(sorted(budgets))
+
+
+def _needs_decomposition(config: EstimatorConfig, items: Sequence[Any], mode: str) -> bool:
+    """Whether any query of the batch will resolve the decomposition index.
+
+    Purely sampling-driven workloads never touch it (the engine resolves
+    it lazily for exactly this reason), so the parent neither computes nor
+    ships it for them.  A mispredicted ``False`` stays correct — a worker
+    simply computes the index itself — so this only has to be a faithful
+    mirror of the common paths, with ``estimate`` mode always ``True``.
+    """
+    if mode == "estimate":
+        return True
+    backend_pooled = pooled_backend_estimation(config)
+    for query in items:
+        usage = getattr(type(query), "pool_usage", "never")
+        if usage == "backend" and not backend_pooled:
+            return True
+        if getattr(query, "refine_with_estimator", False):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Parity checksum
+# ----------------------------------------------------------------------
+def _strip_timing(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            key: _strip_timing(item)
+            for key, item in value.items()
+            if key not in TIMING_FIELDS
+        }
+    if isinstance(value, (list, tuple)):
+        return [_strip_timing(item) for item in value]
+    return value
+
+
+def results_checksum(results: Iterable[Any]) -> str:
+    """SHA-256 fingerprint of a result batch's semantic content.
+
+    Serializes each result through its ``to_dict`` form with the
+    wall-clock fields (:data:`TIMING_FIELDS`) stripped recursively, so two
+    executions of one workload — serial or parallel, any worker count —
+    produce equal checksums iff every estimate, decision, ranking, and
+    counter in their results is bit-for-bit identical.
+    """
+    payload = [
+        _strip_timing(result.to_dict() if hasattr(result, "to_dict") else result)
+        for result in results
+    ]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level so payloads pickle under any start method)
+# ----------------------------------------------------------------------
+def _sample_chunk_group(payload: Tuple) -> List[Tuple[int, List[Tuple[int, ...]]]]:
+    """Phase-A task: sample one shard's chunk spans of a seeded pool."""
+    graph, seed, spans = payload
+    return sample_world_chunks(graph, seed=seed, spans=spans)
+
+
+def _run_shard(
+    payload: Tuple,
+) -> Tuple[List[Tuple[int, Any]], Dict[str, int], Optional[Tuple[int, BaseException, int]]]:
+    """Phase-B task: answer one shard's queries on a rebuilt session.
+
+    The worker reconstructs the parent session — same config (with
+    ``rng=None``/``workers=1``; the base seed is shipped explicitly), same
+    graph, the parent's decomposition index when one exists, and the
+    pre-built world pools — then answers each query pinned to its
+    submission index's seed.  It returns the index-tagged results, the
+    :class:`EngineStats` delta its queries accumulated, and — when a query
+    raised — a ``(submission_index, exception, seeds_consumed)`` triple
+    describing the first failure (the shard stops there, exactly as a
+    serial batch would stop at its first failing query).
+    """
+    mode, config, base_seed, graph, decomposition, items, pools = payload
+    from repro.engine.engine import ReliabilityEngine
+
+    engine = ReliabilityEngine(config)
+    engine._base_seed = base_seed
+    if decomposition is not None:
+        engine.prepare(graph, decomposition)
+    else:
+        engine._active = graph
+    for seed, samples, labels in pools:
+        engine._install_pool(graph, seed=seed, samples=samples, labels=labels)
+    baseline = engine.stats.snapshot()
+    results: List[Tuple[int, Any]] = []
+    failure: Optional[Tuple[int, BaseException, int]] = None
+    for index, item in items:
+        before = engine.stats.queries_served
+        try:
+            if mode == "query":
+                result = engine.query(item, graph=graph, seed_index=index)
+            else:
+                result = engine.estimate(item, graph=graph, seed_index=index)
+        except Exception as error:
+            # How many seeds the failing query itself consumed (0 when it
+            # failed validation before drawing one, 1 afterwards) — the
+            # parent needs this to restore the serial cursor position.
+            failure = (index, error, engine.stats.queries_served - before)
+            break
+        results.append((index, result))
+    delta = engine.stats.since(baseline)
+    return results, dataclasses.asdict(delta), failure
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _prebuild_pools(
+    executor: ProcessPoolExecutor,
+    engine,
+    graph,
+    plan: ExecutionPlan,
+) -> Tuple[List[Tuple[int, int, List[Tuple[int, ...]]]], int]:
+    """Build (or fetch) every pool of the plan, sampling chunks in parallel.
+
+    Each worker draws a disjoint, order-stable range of world chunks; the
+    labellings are reassembled in chunk order, installed in the parent's
+    pool cache (counted as one build, exactly like a serial batch's first
+    pooled query), and returned for shipping to the query shards along
+    with the number of pools built fresh (the caller compensates the
+    worker-side hit counts with it, keeping stats serial-identical).
+    """
+    payloads: List[Tuple[int, int, List[Tuple[int, ...]]]] = []
+    fresh_builds = 0
+    for samples in plan.pool_samples:
+        seed = engine.pool_seed()
+        cached = engine._cached_pool(graph, seed, samples)
+        if cached is not None:
+            payloads.append((seed, samples, cached.labels))
+            continue
+        spans = chunk_spans(samples)
+        groups = [spans[worker :: plan.workers] for worker in range(plan.workers)]
+        groups = [group for group in groups if group]
+        if len(groups) > 1:
+            futures = [
+                executor.submit(_sample_chunk_group, (graph, seed, group))
+                for group in groups
+            ]
+            keyed = [pair for future in futures for pair in future.result()]
+        else:
+            keyed = sample_world_chunks(graph, seed=seed, spans=spans)
+        keyed.sort(key=lambda pair: pair[0])
+        labels = [labelling for _, chunk in keyed for labelling in chunk]
+        engine._install_pool(graph, seed=seed, samples=samples, labels=labels)
+        engine._stats.world_pools_built += 1
+        engine._stats.worlds_sampled += samples
+        fresh_builds += 1
+        payloads.append((seed, samples, labels))
+    return payloads, fresh_builds
+
+
+def execute_batch(
+    engine,
+    graph,
+    items: Sequence[Any],
+    *,
+    mode: str,
+    workers: int,
+    plan: Optional[ExecutionPlan] = None,
+) -> List[Any]:
+    """Run a batch through worker processes, bit-identical to serial.
+
+    Called by :meth:`ReliabilityEngine.estimate_many` /
+    :meth:`~ReliabilityEngine.query_many` once the ``workers`` knob
+    resolves above 1.  ``mode`` selects the item type: ``"estimate"``
+    (terminal tuples) or ``"query"`` (typed :class:`Query` objects).
+
+    Stats contract: on success the parent session's counters afterwards
+    equal a serial run's — ``queries_served`` advances by ``len(items)``
+    (the reserved seed range), worker shard deltas (decomposition cache
+    hits, pool hits, any worker-local sampling) are merged in, a pre-built
+    pool counts as one build with ``samples`` worlds sampled, and the
+    merge compensates for the one bookkeeping difference sharding creates:
+    the query that *would* have built a pool (or computed the
+    decomposition) serially instead finds the parent's pre-built copy in
+    its worker cache, so one hit per fresh build is subtracted.
+
+    Failure contract: when a query raises, the earliest failing submission
+    index wins (every shard stops at its own first failure, as serial
+    stops at its), its exception propagates, and ``queries_served`` is
+    restored to exactly what the serial run would have consumed — the
+    queries before the failing one plus whatever the failing query itself
+    drew — so a caller that catches the error keeps a serial-identical
+    seed schedule.  Shard deltas are only merged on full success.
+    """
+    if mode not in ("estimate", "query"):
+        raise ConfigurationError(f"unknown batch mode {mode!r}")
+    num = len(items)
+    if plan is None:
+        budgets = pooled_sample_budgets(engine.config, items) if mode == "query" else ()
+        plan = ExecutionPlan.for_batch(num, workers, pool_samples=budgets)
+    if plan.total_queries != num:
+        raise ConfigurationError(
+            f"plan covers {plan.total_queries} queries but the batch has {num}"
+        )
+
+    # Reserve the batch's seed range up-front: query i of the batch uses
+    # query_seed(start + i) no matter which shard answers it.
+    start = engine.stats.queries_served
+    engine._stats.queries_served += num
+
+    results: List[Any] = [None] * num
+    failures: List[Tuple[int, BaseException, int]] = []
+    deltas: List[Dict[str, int]] = []
+    fresh_pool_builds = 0
+    fresh_decomposition = False
+    try:
+        decomposition = None
+        if _needs_decomposition(engine.config, items, mode):
+            # Peek before preparing: a cached index is reused without a
+            # counter tick (serial's per-query hits happen in the workers);
+            # a missing one is computed here, standing in for the serial
+            # run's first index-touching query.
+            cached = engine._cache.get(id(graph))
+            if cached is not None and cached[2] == graph.topology_fingerprint():
+                decomposition = cached[1]
+            else:
+                engine.prepare(graph)
+                decomposition = engine._cache[id(graph)][1]
+                fresh_decomposition = True
+
+        config = engine.config.replace(rng=None, workers=1)
+        with ProcessPoolExecutor(
+            max_workers=plan.workers, mp_context=_mp_context()
+        ) as executor:
+            pools: List[Tuple[int, int, List[Tuple[int, ...]]]] = []
+            if plan.pool_samples:
+                pools, fresh_pool_builds = _prebuild_pools(
+                    executor, engine, graph, plan
+                )
+            futures = []
+            for shard in plan.shards:
+                shard_items = [(start + index, items[index]) for index in shard]
+                futures.append(
+                    executor.submit(
+                        _run_shard,
+                        (mode, config, engine._base_seed, graph, decomposition, shard_items, pools),
+                    )
+                )
+            for future in futures:
+                pairs, delta, failure = future.result()
+                for seed_index, result in pairs:
+                    results[seed_index - start] = result
+                deltas.append(delta)
+                if failure is not None:
+                    failures.append(failure)
+    except BaseException:
+        # Setup or transport failed before any per-query accounting was
+        # possible: release the whole reservation.
+        engine._stats.queries_served = start
+        raise
+
+    if failures:
+        seed_index, error, consumed = min(failures, key=lambda item: item[0])
+        # Serial consumption up to the failure: one seed per preceding
+        # query, plus the failing query's own draw (if it got that far).
+        engine._stats.queries_served = seed_index + consumed
+        raise error
+    total = _stats_from_dict({})
+    for delta in deltas:
+        total.merge(_stats_from_dict(delta))
+    # Serially, the query that builds a pool (or computes the index) does
+    # not also count a cache hit for it; its worker twin hits the shipped
+    # copy instead, so subtract one hit per fresh parent-side build.
+    total.world_pool_hits = max(0, total.world_pool_hits - fresh_pool_builds)
+    if fresh_decomposition:
+        total.decomposition_cache_hits = max(0, total.decomposition_cache_hits - 1)
+    engine._stats.merge(total, include_queries_served=False)
+    return results
+
+
+def _stats_from_dict(delta: Dict[str, int]):
+    from repro.engine.engine import EngineStats
+
+    return EngineStats(**delta)

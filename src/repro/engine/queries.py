@@ -94,6 +94,7 @@ __all__ = [
     "TopKReliableVerticesQuery",
     "TopKReliableVerticesResult",
     "greedy_reliable_subgraph",
+    "pooled_backend_estimation",
     "query_from_dict",
     "result_from_dict",
     "validate_query_terminals",
@@ -194,9 +195,19 @@ def _register_result(cls: Type["QueryResult"]) -> Type["QueryResult"]:
 
 @dataclass(frozen=True)
 class Query:
-    """Base class of the typed queries answered by ``engine.query``."""
+    """Base class of the typed queries answered by ``engine.query``.
+
+    ``pool_usage`` declares, next to each query class, whether its
+    execution reads the engine's shared world pool: ``"always"`` (the
+    sampling-driven kinds), ``"backend"`` (only when
+    :func:`pooled_backend_estimation` holds for the session's config), or
+    ``"never"``.  The parallel executor consults it to decide which pools
+    to pre-build for a batch, so a new query kind only has to state its
+    behaviour once, here, to be sharded correctly.
+    """
 
     kind: ClassVar[str] = ""
+    pool_usage: ClassVar[str] = "never"
 
     def to_dict(self) -> Dict[str, Any]:
         """Return a JSON-safe dict (``kind`` plus the query's fields)."""
@@ -286,6 +297,22 @@ def _pairs(mapping: Mapping[Any, Any]) -> List[List[Any]]:
 # ----------------------------------------------------------------------
 # Pooled Monte Carlo plumbing
 # ----------------------------------------------------------------------
+def pooled_backend_estimation(config) -> bool:
+    """Whether estimation-style queries read from the shared world pool.
+
+    True for the ``"sampling"`` backend with Monte Carlo aggregation — the
+    one configuration whose k-terminal/threshold answers are world-pool
+    scans.  This is the single source of truth for that predicate: the
+    per-query dispatch below and the parallel executor's pool pre-build
+    (:func:`repro.engine.parallel.pooled_sample_budgets`) both call it, so
+    a future pooled backend cannot drift them apart.
+    """
+    return (
+        config.backend == "sampling"
+        and config.estimator is EstimatorKind.MONTE_CARLO
+    )
+
+
 def _pooled_estimation(context: QueryContext) -> bool:
     """Whether k-terminal estimation should read from the world pool.
 
@@ -294,11 +321,8 @@ def _pooled_estimation(context: QueryContext) -> bool:
     own sampler avoids materializing a throwaway pool (and keeps the
     per-call baseline semantics the experiment runners time).
     """
-    config = context.engine.config
-    return (
-        not context.explicit_rng
-        and context.engine.backend_name == "sampling"
-        and config.estimator is EstimatorKind.MONTE_CARLO
+    return not context.explicit_rng and pooled_backend_estimation(
+        context.engine.config
     )
 
 
@@ -371,6 +395,7 @@ class KTerminalQuery(Query):
     """
 
     kind: ClassVar[str] = "k-terminal"
+    pool_usage: ClassVar[str] = "backend"
 
     terminals: Tuple[Vertex, ...]
 
@@ -464,6 +489,7 @@ class ThresholdQuery(Query):
     """
 
     kind: ClassVar[str] = "threshold"
+    pool_usage: ClassVar[str] = "backend"
 
     terminals: Tuple[Vertex, ...]
     threshold: float
@@ -564,6 +590,7 @@ class ReliabilitySearchQuery(Query):
     """
 
     kind: ClassVar[str] = "search"
+    pool_usage: ClassVar[str] = "always"
 
     sources: Tuple[Vertex, ...]
     threshold: float
@@ -655,6 +682,7 @@ class TopKReliableVerticesQuery(Query):
     """Rank the ``k`` non-source vertices most reliably connected to the sources."""
 
     kind: ClassVar[str] = "top-k"
+    pool_usage: ClassVar[str] = "always"
 
     sources: Tuple[Vertex, ...]
     k: int
@@ -935,6 +963,7 @@ class ClusteringQuery(Query):
     """
 
     kind: ClassVar[str] = "clustering"
+    pool_usage: ClassVar[str] = "always"
 
     num_clusters: int
     samples: Optional[int] = None

@@ -21,26 +21,165 @@ engine caches a bounded number of them per prepared graph, keyed by seed
 and sample count and invalidated whenever the graph's topology *or* its
 edge probabilities change (see :meth:`ReliabilityEngine.world_pool`).
 
-Reproducibility contract: worlds are drawn with exactly one uniform draw
-per non-loop edge, in edge-id order — the same stream the historical
-``repro.analysis`` samplers consumed — so a pool built from a given seed
-reproduces the pre-pool analysis results bit-for-bit.
+Reproducibility contracts (two, by construction path):
+
+* Pools built from a *live generator* (``WorldPool(graph, samples=s,
+  rng=...)``) draw exactly one uniform per non-loop edge, in edge-id
+  order, from that single sequential stream — the same stream the
+  historical ``repro.analysis`` samplers consumed — so the one-shot
+  analysis wrappers keep reproducing their pre-pool results bit-for-bit.
+* Pools built from an *integer seed* (:meth:`WorldPool.from_seed`, the
+  engine-managed path) are sampled in fixed-size **chunks** of
+  :data:`WORLD_CHUNK_SIZE` worlds; chunk ``j`` draws its worlds from an
+  independent generator seeded with :func:`chunk_seed`.  Because every
+  chunk re-derives its own seed, disjoint chunk ranges can be sampled on
+  different workers in any order and reassembled into the exact pool a
+  single process would build — the property the parallel executor
+  (:mod:`repro.engine.parallel`) relies on for bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+import random
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.exceptions import TerminalError
+from repro.exceptions import ConfigurationError, TerminalError
 from repro.utils.rng import RandomLike, resolve_rng
 from repro.utils.validation import check_positive_int, check_probability
 
 if TYPE_CHECKING:
     from repro.graph.uncertain_graph import UncertainGraph
 
-__all__ = ["ThresholdScan", "WorldPool"]
+__all__ = [
+    "ThresholdScan",
+    "WORLD_CHUNK_SIZE",
+    "WorldPool",
+    "chunk_seed",
+    "chunk_spans",
+    "sample_world_chunks",
+]
 
 Vertex = Hashable
+
+#: Worlds per chunk of the seeded (engine-managed) sampling scheme.  The
+#: value is part of the reproducibility contract: changing it changes what
+#: a given pool seed means, so it is a module constant, not a knob.
+WORLD_CHUNK_SIZE = 256
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64's golden gamma, reused to stride chunk indices apart.
+_CHUNK_GAMMA = 0x9E3779B97F4A7C15
+
+
+def chunk_seed(seed: int, chunk_index: int) -> int:
+    """The deterministic 64-bit seed of chunk ``chunk_index`` of pool ``seed``.
+
+    A splitmix64 finalizer over ``seed + gamma * (chunk_index + 1)``: each
+    chunk's generator is independent of every other chunk's, so chunks can
+    be (re-)drawn in any order on any process and always yield the same
+    worlds.
+    """
+    if chunk_index < 0:
+        raise ConfigurationError(f"chunk_index must be >= 0, got {chunk_index}")
+    z = (seed + _CHUNK_GAMMA * (chunk_index + 1)) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def chunk_spans(
+    samples: int, chunk_size: int = WORLD_CHUNK_SIZE
+) -> List[Tuple[int, int]]:
+    """The ``(chunk_index, count)`` spans covering ``samples`` worlds in order.
+
+    Every chunk holds ``chunk_size`` worlds except possibly the last.  The
+    spans are the unit of work the parallel executor distributes: any
+    partition of them, sampled anywhere, reassembles (sorted by chunk
+    index) into the serial pool.
+    """
+    check_positive_int(samples, "samples")
+    check_positive_int(chunk_size, "chunk_size")
+    return [
+        (index, min(chunk_size, samples - start))
+        for index, start in enumerate(range(0, samples, chunk_size))
+    ]
+
+
+class _WorldSampler:
+    """Per-graph sampling state shared by every pool-construction path.
+
+    Precomputes the vertex indexing and the ``(u, v, probability)`` draw
+    list once so chunked construction does not re-derive them per chunk.
+    """
+
+    def __init__(self, graph: "UncertainGraph") -> None:
+        self.vertices: List[Vertex] = list(graph.vertices())
+        self.index: Dict[Vertex, int] = {
+            vertex: position for position, vertex in enumerate(self.vertices)
+        }
+        self.draws: List[Tuple[int, int, float]] = [
+            (self.index[edge.u], self.index[edge.v], edge.probability)
+            for edge in graph.edges()
+            if not edge.is_loop()
+        ]
+
+    def sample(self, count: int, generator: "random.Random") -> List[Tuple[int, ...]]:
+        """Draw ``count`` worlds (one uniform per non-loop edge, edge order)."""
+        n = len(self.vertices)
+        worlds: List[Tuple[int, ...]] = []
+        for _ in range(count):
+            parent = list(range(n))
+            for u, v, probability in self.draws:
+                if generator.random() < probability:
+                    # Union with path halving; the labelling only needs the
+                    # partition, not any particular representative.
+                    while parent[u] != u:
+                        parent[u] = parent[parent[u]]
+                        u = parent[u]
+                    while parent[v] != v:
+                        parent[v] = parent[parent[v]]
+                        v = parent[v]
+                    if u != v:
+                        parent[u] = v
+            labels = []
+            for i in range(n):
+                root = i
+                while parent[root] != root:
+                    parent[root] = parent[parent[root]]
+                    root = parent[root]
+                labels.append(root)
+            worlds.append(tuple(labels))
+        return worlds
+
+
+def sample_world_chunks(
+    graph: "UncertainGraph",
+    *,
+    seed: int,
+    spans: Iterable[Tuple[int, int]],
+) -> List[Tuple[int, List[Tuple[int, ...]]]]:
+    """Sample the given chunk ``spans`` of the pool seeded with ``seed``.
+
+    This is the worker-side primitive of parallel pool construction: each
+    shard samples a disjoint subset of :func:`chunk_spans` and the parent
+    concatenates the returned ``(chunk_index, labels)`` pairs in chunk
+    order to obtain the exact pool :meth:`WorldPool.from_seed` builds.
+    """
+    sampler = _WorldSampler(graph)
+    return [
+        (index, sampler.sample(count, random.Random(chunk_seed(seed, index))))
+        for index, count in spans
+    ]
 
 
 class ThresholdScan(NamedTuple):
@@ -88,7 +227,10 @@ class WorldPool:
         Number of worlds to draw.
     rng:
         Seed or generator for the draws (one uniform draw per non-loop
-        edge, in edge-id order).
+        edge, in edge-id order, from one sequential stream — the
+        historical ``repro.analysis`` contract).  Engine-managed pools use
+        :meth:`from_seed` instead, whose chunked scheme is stable under
+        parallel sharding.
     seed:
         Optional bookkeeping tag recording the integer seed this pool was
         built from (``None`` for pools built from a live generator).
@@ -104,41 +246,90 @@ class WorldPool:
     ) -> None:
         check_positive_int(samples, "samples")
         generator = resolve_rng(rng)
+        sampler = _WorldSampler(graph)
         self._seed = seed
-        self._vertices: List[Vertex] = list(graph.vertices())
-        self._index: Dict[Vertex, int] = {
-            vertex: position for position, vertex in enumerate(self._vertices)
-        }
-        draws: List[Tuple[int, int, float]] = [
-            (self._index[edge.u], self._index[edge.v], edge.probability)
-            for edge in graph.edges()
-            if not edge.is_loop()
-        ]
-        n = len(self._vertices)
+        self._vertices = sampler.vertices
+        self._index = sampler.index
+        self._worlds = sampler.sample(samples, generator)
+
+    # ------------------------------------------------------------------
+    # Alternative constructors (the parallel-stable seeded scheme)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(
+        cls,
+        graph: "UncertainGraph",
+        *,
+        samples: int,
+        seed: int,
+        chunk_size: int = WORLD_CHUNK_SIZE,
+    ) -> "WorldPool":
+        """Build the pool of ``samples`` worlds the seeded scheme defines.
+
+        Worlds are drawn chunk-by-chunk (:func:`chunk_spans`,
+        :func:`chunk_seed`), so the result is identical whether the chunks
+        are sampled here sequentially or on parallel workers and
+        reassembled (:func:`sample_world_chunks` + :meth:`from_labels`).
+        """
+        check_positive_int(samples, "samples")
+        sampler = _WorldSampler(graph)
         worlds: List[Tuple[int, ...]] = []
-        for _ in range(samples):
-            parent = list(range(n))
-            for u, v, probability in draws:
-                if generator.random() < probability:
-                    # Union with path halving; the labelling only needs the
-                    # partition, not any particular representative.
-                    while parent[u] != u:
-                        parent[u] = parent[parent[u]]
-                        u = parent[u]
-                    while parent[v] != v:
-                        parent[v] = parent[parent[v]]
-                        v = parent[v]
-                    if u != v:
-                        parent[u] = v
-            labels = []
-            for i in range(n):
-                root = i
-                while parent[root] != root:
-                    parent[root] = parent[parent[root]]
-                    root = parent[root]
-                labels.append(root)
-            worlds.append(tuple(labels))
-        self._worlds = worlds
+        for index, count in chunk_spans(samples, chunk_size):
+            worlds.extend(sampler.sample(count, random.Random(chunk_seed(seed, index))))
+        return cls._from_state(sampler, worlds, seed)
+
+    @classmethod
+    def from_labels(
+        cls,
+        graph: "UncertainGraph",
+        labels: Sequence[Sequence[int]],
+        *,
+        seed: Optional[int] = None,
+    ) -> "WorldPool":
+        """Wrap precomputed per-world component labellings in a pool.
+
+        ``labels`` must hold one labelling per world, each covering every
+        vertex of ``graph`` in iteration order — exactly what
+        :func:`sample_world_chunks` returns.  Used by the parallel
+        executor to reassemble a pool from shard-sampled chunks and to
+        hand a parent-built pool to worker processes without resampling.
+        """
+        sampler = _WorldSampler(graph)
+        worlds = [tuple(labelling) for labelling in labels]
+        if not worlds:
+            raise ConfigurationError("a world pool needs at least one world")
+        expected = len(sampler.vertices)
+        for position, labelling in enumerate(worlds):
+            if len(labelling) != expected:
+                raise ConfigurationError(
+                    f"world {position} labels {len(labelling)} vertices, "
+                    f"expected {expected} (the pooled graph's vertex count)"
+                )
+        return cls._from_state(sampler, worlds, seed)
+
+    @classmethod
+    def _from_state(
+        cls,
+        sampler: _WorldSampler,
+        worlds: List[Tuple[int, ...]],
+        seed: Optional[int],
+    ) -> "WorldPool":
+        pool = cls.__new__(cls)
+        pool._seed = seed
+        pool._vertices = sampler.vertices
+        pool._index = sampler.index
+        pool._worlds = worlds
+        return pool
+
+    @property
+    def labels(self) -> List[Tuple[int, ...]]:
+        """The per-world component labellings (one tuple per world).
+
+        Exposed so the parallel executor can ship a built pool to worker
+        processes (:meth:`from_labels` on the other side) instead of
+        resampling it per worker.
+        """
+        return self._worlds
 
     # ------------------------------------------------------------------
     # Introspection

@@ -596,6 +596,11 @@ def run_queries(
     kind (``--query-kind`` on the CLI) is generated from the same random
     searches and answered in one batch; the sampling-driven kinds share
     the session's world pool, which the table's footer reports.
+
+    With ``config.workers > 1`` (the CLI's ``--workers`` flag) every batch
+    is sharded over that many worker processes through the parallel
+    executor — the results are bit-identical to a serial run, so the flag
+    only changes the timing columns.
     """
     config = config or ExperimentConfig()
     dataset = dataset or config.large_datasets[0]
@@ -628,6 +633,7 @@ def run_queries(
         f"shared world pool: {stats.world_pools_built} built, "
         f"{stats.world_pool_hits} cache hits, {stats.worlds_sampled} worlds "
         f"sampled for {stats.queries_served} queries"
+        + (f"; {config.workers} worker processes" if config.workers > 1 else "")
     )
     return table
 

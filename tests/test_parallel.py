@@ -1,0 +1,452 @@
+"""Tests for the process-based parallel executor (repro.engine.parallel).
+
+The contract under test is the one the module advertises: a batch sharded
+over worker processes returns results bit-identical to serial execution
+(wall-clock timing fields aside), the chunked world-sampling scheme makes
+shard-built pools equal serial pools, and the parent session's stats
+aggregate every shard's counters.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.engine import (
+    EstimatorConfig,
+    ExecutionPlan,
+    ReliabilityEngine,
+    WorldPool,
+    results_checksum,
+)
+from repro.engine.parallel import (
+    TIMING_FIELDS,
+    _strip_timing,
+    default_worker_count,
+    pooled_sample_budgets,
+)
+from repro.engine.queries import (
+    ClusteringQuery,
+    KTerminalQuery,
+    ReliabilitySearchQuery,
+    ReliableSubgraphQuery,
+    ThresholdQuery,
+    TopKReliableVerticesQuery,
+)
+from repro.engine.worlds import (
+    WORLD_CHUNK_SIZE,
+    chunk_seed,
+    chunk_spans,
+    sample_world_chunks,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import random_connected_graph
+
+GRAPH_SEED = 3
+
+
+def small_graph():
+    return random_connected_graph(14, 24, rng=GRAPH_SEED)
+
+
+def fresh_engine(backend: str = "sampling", **overrides) -> ReliabilityEngine:
+    config = EstimatorConfig(backend=backend, samples=250, max_width=128, rng=11)
+    if overrides:
+        config = config.replace(**overrides)
+    return ReliabilityEngine(config).prepare(small_graph())
+
+
+def mixed_workload(repeats: int = 2):
+    queries = [
+        KTerminalQuery(terminals=(0, 5)),
+        ThresholdQuery(terminals=(1, 7), threshold=0.4),
+        ReliabilitySearchQuery(sources=(2,), threshold=0.3),
+        TopKReliableVerticesQuery(sources=(3,), k=4),
+        ReliableSubgraphQuery(query_vertices=(0, 4), threshold=0.9, max_size=5),
+        ClusteringQuery(num_clusters=2),
+    ]
+    return queries * repeats
+
+
+def canonical(results):
+    return [_strip_timing(result.to_dict()) for result in results]
+
+
+# ----------------------------------------------------------------------
+# Chunked world sampling
+# ----------------------------------------------------------------------
+class TestChunkedWorlds:
+    def test_chunk_seed_deterministic_and_distinct(self):
+        seeds = [chunk_seed(99, index) for index in range(50)]
+        assert seeds == [chunk_seed(99, index) for index in range(50)]
+        assert len(set(seeds)) == 50
+        assert chunk_seed(99, 0) != chunk_seed(100, 0)
+        with pytest.raises(ConfigurationError):
+            chunk_seed(99, -1)
+
+    def test_chunk_spans_cover_the_pool_in_order(self):
+        spans = chunk_spans(600, 256)
+        assert spans == [(0, 256), (1, 256), (2, 88)]
+        assert sum(count for _, count in spans) == 600
+        assert chunk_spans(256, 256) == [(0, 256)]
+        with pytest.raises(ConfigurationError):
+            chunk_spans(0)
+
+    def test_from_seed_equals_disjoint_chunk_assembly(self):
+        """Shards sampling disjoint chunk ranges reassemble the serial pool."""
+        serial = WorldPool.from_seed(small_graph(), samples=600, seed=42)
+        spans = chunk_spans(600)
+        # Two "workers" take interleaved spans, each on its own graph copy.
+        keyed = sample_world_chunks(small_graph(), seed=42, spans=spans[0::2])
+        keyed += sample_world_chunks(small_graph(), seed=42, spans=spans[1::2])
+        keyed.sort(key=lambda pair: pair[0])
+        labels = [labelling for _, chunk in keyed for labelling in chunk]
+        assembled = WorldPool.from_labels(small_graph(), labels, seed=42)
+        assert assembled.labels == serial.labels
+
+    def test_from_seed_deterministic_and_chunk_size_invariant_checks(self):
+        graph = small_graph()
+        first = WorldPool.from_seed(graph, samples=300, seed=7)
+        second = WorldPool.from_seed(graph, samples=300, seed=7)
+        assert first.labels == second.labels
+        assert first.seed == 7
+        assert WorldPool.from_seed(graph, samples=300, seed=8).labels != first.labels
+
+    def test_from_labels_validates_shape(self):
+        graph = small_graph()
+        with pytest.raises(ConfigurationError):
+            WorldPool.from_labels(graph, [])
+        with pytest.raises(ConfigurationError):
+            WorldPool.from_labels(graph, [(0, 1)])
+
+    def test_engine_seeded_pool_uses_the_chunked_scheme(self):
+        engine = fresh_engine()
+        pool = engine.world_pool()
+        reference = WorldPool.from_seed(
+            small_graph(), samples=250, seed=engine.pool_seed()
+        )
+        assert pool.labels == reference.labels
+
+    def test_live_rng_pools_keep_the_sequential_stream(self):
+        """The historical analysis contract: one stream, edge order."""
+        graph = small_graph()
+        sequential = WorldPool(graph, samples=40, rng=random.Random(5))
+        again = WorldPool(graph, samples=40, rng=random.Random(5))
+        assert sequential.labels == again.labels
+        # ...and it is intentionally a different scheme than from_seed.
+        assert sequential.labels != WorldPool.from_seed(graph, samples=40, seed=5).labels
+
+
+# ----------------------------------------------------------------------
+# The execution plan
+# ----------------------------------------------------------------------
+class TestExecutionPlan:
+    def test_round_robin_partition(self):
+        plan = ExecutionPlan.for_batch(7, 3)
+        assert plan.shards == ((0, 3, 6), (1, 4), (2, 5))
+        assert plan.workers == 3
+        covered = sorted(index for shard in plan.shards for index in shard)
+        assert covered == list(range(7))
+
+    def test_workers_clamped_to_batch(self):
+        plan = ExecutionPlan.for_batch(2, 8)
+        assert plan.workers == 2
+        assert plan.shards == ((0,), (1,))
+
+    def test_pool_samples_deduped_and_sorted(self):
+        plan = ExecutionPlan.for_batch(4, 2, pool_samples=(500, 100, 500))
+        assert plan.pool_samples == (100, 500)
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan.for_batch(4, 0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(total_queries=3, workers=2, shards=((0, 1),))
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(total_queries=2, workers=2, shards=((0, 0), (1,)))
+
+    def test_pooled_budgets_follow_the_engine_predicate(self):
+        sampling = EstimatorConfig(backend="sampling", samples=250)
+        s2bdd = EstimatorConfig(backend="s2bdd", samples=250)
+        workload = [
+            KTerminalQuery(terminals=(0, 5)),
+            ReliabilitySearchQuery(sources=(2,), threshold=0.3, samples=100),
+            ClusteringQuery(num_clusters=2),
+        ]
+        # sampling backend: k-terminal reads the default pool too.
+        assert pooled_sample_budgets(sampling, workload) == (100, 250)
+        # s2bdd backend: only the always-pooled kinds contribute.
+        assert pooled_sample_budgets(s2bdd, workload) == (100, 250)
+        assert pooled_sample_budgets(s2bdd, [KTerminalQuery(terminals=(0, 5))]) == ()
+
+    def test_engine_execution_plan_introspection(self):
+        engine = fresh_engine()
+        plan = engine.execution_plan(mixed_workload(), workers=3)
+        assert plan.total_queries == 12
+        assert plan.workers == 3
+        assert plan.pool_samples == (250,)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+
+# ----------------------------------------------------------------------
+# Serial <-> parallel parity
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("backend", ["sampling", "s2bdd"])
+    def test_mixed_workload_bit_identical(self, backend):
+        queries = mixed_workload()
+        serial = fresh_engine(backend).query_many(queries)
+        parallel = fresh_engine(backend).query_many(queries, workers=2)
+        assert canonical(parallel) == canonical(serial)
+        assert results_checksum(parallel) == results_checksum(serial)
+
+    def test_parallel_run_is_deterministic(self):
+        queries = mixed_workload()
+        first = fresh_engine().query_many(queries, workers=2)
+        second = fresh_engine().query_many(queries, workers=2)
+        assert results_checksum(first) == results_checksum(second)
+
+    def test_threshold_early_exit_parity(self):
+        """The pooled scan's early-exit bookkeeping survives sharding."""
+        queries = [
+            ThresholdQuery(terminals=(0, 1), threshold=0.05),
+            ThresholdQuery(terminals=(0, 7), threshold=0.3),
+            ThresholdQuery(terminals=(2, 9), threshold=0.99),
+            ThresholdQuery(terminals=(3, 11), threshold=0.5),
+        ]
+        serial = fresh_engine("sampling", samples=1_000).query_many(queries)
+        parallel = fresh_engine("sampling", samples=1_000).query_many(
+            queries, workers=2
+        )
+        assert any(result.early_exit for result in serial)
+        for mine, theirs in zip(parallel, serial):
+            assert mine.satisfied == theirs.satisfied
+            assert mine.reliability == theirs.reliability
+            assert mine.samples_used == theirs.samples_used
+            assert mine.early_exit == theirs.early_exit
+
+    @pytest.mark.parametrize("backend", ["sampling", "s2bdd"])
+    def test_estimate_many_bit_identical(self, backend):
+        terminal_sets = [(0, v) for v in range(1, 9)]
+        serial = fresh_engine(backend).estimate_many(terminal_sets)
+        parallel = fresh_engine(backend).estimate_many(terminal_sets, workers=2)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_more_workers_than_queries(self):
+        queries = mixed_workload()[:3]
+        serial = fresh_engine().query_many(queries)
+        parallel = fresh_engine().query_many(queries, workers=8)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_batch_seed_cursor_advances_like_serial(self):
+        """A query answered after a parallel batch matches its serial twin."""
+        queries = mixed_workload()[:4]
+        follow_up = KTerminalQuery(terminals=(1, 9))
+        serial_engine = fresh_engine()
+        serial_engine.query_many(queries)
+        serial_next = serial_engine.query(follow_up)
+        parallel_engine = fresh_engine()
+        parallel_engine.query_many(queries, workers=2)
+        parallel_next = parallel_engine.query(follow_up)
+        assert canonical([parallel_next]) == canonical([serial_next])
+
+    def test_seed_index_replays_one_query_of_a_batch(self):
+        queries = [KTerminalQuery(terminals=(0, v)) for v in (5, 6, 7)]
+        serial = fresh_engine().query_many(queries)
+        replay = fresh_engine().query(queries[2], seed_index=2)
+        assert canonical([replay]) == canonical([serial[2]])
+
+    def test_seed_index_and_rng_are_mutually_exclusive(self):
+        engine = fresh_engine()
+        with pytest.raises(ConfigurationError):
+            engine.query(
+                KTerminalQuery(terminals=(0, 5)), rng=random.Random(1), seed_index=0
+            )
+
+    def test_failing_batch_restores_the_serial_seed_cursor(self):
+        """A caught mid-batch failure leaves serial-identical session state."""
+        from repro.exceptions import TerminalError
+
+        queries = [
+            KTerminalQuery(terminals=(0, 5)),
+            KTerminalQuery(terminals=(1, 1)),  # duplicate terminal: raises
+            KTerminalQuery(terminals=(2, 7)),
+            KTerminalQuery(terminals=(3, 9)),
+        ]
+        follow_up = KTerminalQuery(terminals=(4, 10))
+        serial_engine = fresh_engine()
+        with pytest.raises(TerminalError):
+            serial_engine.query_many(queries)
+
+        parallel_engine = fresh_engine()
+        with pytest.raises(TerminalError):
+            parallel_engine.query_many(queries, workers=2)
+        assert (
+            parallel_engine.stats.queries_served
+            == serial_engine.stats.queries_served
+        )
+        serial_next = serial_engine.query(follow_up)
+        parallel_next = parallel_engine.query(follow_up)
+        assert canonical([parallel_next]) == canonical([serial_next])
+
+    def test_graph_override_updates_the_active_graph(self):
+        """A parallel batch on graph= leaves the same session state as serial."""
+        other = random_connected_graph(10, 16, rng=9)
+        queries = [ReliabilitySearchQuery(sources=(v,), threshold=0.3) for v in range(4)]
+        follow_up = KTerminalQuery(terminals=(0, 5))
+
+        serial_engine = fresh_engine()
+        serial_engine.query_many(queries, graph=other)
+        serial_next = serial_engine.query(follow_up)  # answers on `other`
+
+        parallel_engine = fresh_engine()
+        parallel_engine.query_many(queries, graph=other, workers=2)
+        parallel_next = parallel_engine.query(follow_up)
+        assert canonical([parallel_next]) == canonical([serial_next])
+
+    def test_malformed_batch_keeps_serial_failure_semantics(self):
+        """A non-Query item mid-batch fails exactly where (and how) serial does."""
+        items = [
+            KTerminalQuery(terminals=(0, 5)),
+            KTerminalQuery(terminals=(1, 6)),
+            "not a query",
+        ]
+        serial_engine = fresh_engine()
+        with pytest.raises(ConfigurationError):
+            serial_engine.query_many(items)
+
+        parallel_engine = fresh_engine()
+        with pytest.raises(ConfigurationError):
+            parallel_engine.query_many(items, workers=2)
+        assert (
+            parallel_engine.stats.queries_served
+            == serial_engine.stats.queries_served
+        )
+
+
+# ----------------------------------------------------------------------
+# The workers knob
+# ----------------------------------------------------------------------
+class TestWorkersKnob:
+    def test_workers_one_never_spawns_processes(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("the serial path must not enter the executor")
+
+        monkeypatch.setattr("repro.engine.parallel.execute_batch", boom)
+        engine = fresh_engine()
+        assert len(engine.query_many(mixed_workload()[:2], workers=1)) == 2
+        assert len(engine.estimate_many([(0, 5), (1, 6)], workers=1)) == 2
+
+    def test_single_query_batch_stays_serial(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("a one-query batch must not be sharded")
+
+        monkeypatch.setattr("repro.engine.parallel.execute_batch", boom)
+        engine = fresh_engine()
+        engine.query_many([KTerminalQuery(terminals=(0, 5))], workers=4)
+        assert engine.query_many([], workers=4) == []
+
+    def test_config_workers_is_the_session_default(self):
+        queries = mixed_workload()[:4]
+        serial = fresh_engine().query_many(queries)
+        configured = fresh_engine(workers=2)
+        assert configured.config.workers == 2
+        parallel = configured.query_many(queries)  # no per-call override
+        assert canonical(parallel) == canonical(serial)
+
+    @pytest.mark.parametrize("workers", [0, -2, 1.5, True, "two"])
+    def test_invalid_workers_rejected(self, workers):
+        engine = fresh_engine()
+        with pytest.raises(ConfigurationError):
+            engine.query_many(mixed_workload()[:2], workers=workers)
+
+    def test_invalid_config_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(workers=0)
+
+    def test_config_workers_round_trips(self):
+        config = EstimatorConfig(samples=100, workers=4)
+        assert EstimatorConfig.from_dict(config.to_dict()) == config
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation across shards
+# ----------------------------------------------------------------------
+class TestStatsAggregation:
+    def test_pooled_batch_stats_equal_serial(self):
+        queries = [
+            ReliabilitySearchQuery(sources=(v,), threshold=0.3) for v in range(8)
+        ]
+        serial_engine = fresh_engine()
+        serial_engine.query_many(queries)
+        engine = fresh_engine()
+        engine.query_many(queries, workers=2)
+        assert engine.stats == serial_engine.stats
+        stats = engine.stats
+        assert stats.queries_served == 8
+        # The shared pool was sampled once, in parallel chunks — not once
+        # per worker process — and the query that would have built it
+        # serially is not double-counted as a cache hit.
+        assert stats.world_pools_built == 1
+        assert stats.worlds_sampled == 250
+        assert stats.world_pool_hits == 7
+
+    def test_estimate_batch_stats_equal_serial(self):
+        terminal_sets = [(0, v) for v in range(1, 7)]
+        serial_engine = fresh_engine("s2bdd")
+        serial_engine.estimate_many(terminal_sets)
+        engine = fresh_engine("s2bdd")
+        engine.estimate_many(terminal_sets, workers=2)
+        assert engine.stats == serial_engine.stats
+        stats = engine.stats
+        assert stats.queries_served == 6
+        assert stats.decompositions_computed == 1  # prepare(), shipped to shards
+        # Each of the 6 worker-side estimates re-validated the cached
+        # index, exactly as the 6 serial estimates do.
+        assert stats.decomposition_cache_hits == 6
+
+    def test_mixed_workload_stats_equal_serial(self):
+        queries = mixed_workload()
+        serial_engine = fresh_engine()
+        serial_engine.query_many(queries)
+        engine = fresh_engine()
+        engine.query_many(queries, workers=2)
+        assert engine.stats == serial_engine.stats
+
+    def test_followup_serial_queries_keep_counting(self):
+        engine = fresh_engine()
+        engine.query_many(mixed_workload()[:4], workers=2)
+        engine.query(KTerminalQuery(terminals=(0, 5)))
+        assert engine.stats.queries_served == 5
+
+
+# ----------------------------------------------------------------------
+# Pickling round-trips (what execute_batch ships to workers)
+# ----------------------------------------------------------------------
+class TestPickling:
+    @pytest.mark.parametrize("query", mixed_workload(repeats=1))
+    def test_queries_round_trip(self, query):
+        assert pickle.loads(pickle.dumps(query)) == query
+
+    def test_config_round_trips(self):
+        config = EstimatorConfig(
+            backend="sampling", samples=123, estimator="ht", edge_ordering="dfs"
+        )
+        restored = pickle.loads(pickle.dumps(config))
+        assert restored == config
+
+    def test_results_round_trip(self):
+        results = fresh_engine().query_many(mixed_workload(repeats=1))
+        restored = [pickle.loads(pickle.dumps(result)) for result in results]
+        assert canonical(restored) == canonical(results)
+
+    def test_timing_fields_are_the_only_stripped_content(self):
+        result = fresh_engine("s2bdd").query(KTerminalQuery(terminals=(0, 5)))
+        stripped = _strip_timing(result.to_dict())
+        assert "elapsed_seconds" not in stripped["estimate"]
+        kept = set(result.to_dict()["estimate"]) - set(stripped["estimate"])
+        assert kept == TIMING_FIELDS
