@@ -45,6 +45,12 @@ approach — ``"sampling"``, ``"exact-bdd"``, ``"brute"``) selected through
 deprecated shims over the engine (they emit ``DeprecationWarning``), and
 the :mod:`repro.analysis` functions are thin wrappers over the typed
 queries.
+
+To *serve* queries to many clients, the service layer
+(:mod:`repro.service`, imported explicitly) adds a graph catalog, a
+result cache with bit-exact hits, request coalescing, and a JSON/HTTP
+front-end: ``python -m repro.service --graphs karate`` (or the
+``repro-serve`` console script).
 """
 
 from repro.baselines import (

@@ -12,6 +12,7 @@ and JSON so the harness can log and reload configurations.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import random
 from dataclasses import dataclass
@@ -169,6 +170,18 @@ class EstimatorConfig:
     def to_json(self) -> str:
         """Serialize to a JSON string."""
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """A stable hex digest identifying this configuration's content.
+
+        Two configs fingerprint equally iff every field (including the
+        seed) is equal, across processes and sessions — the property the
+        service layer's cache key contract relies on.  Like
+        :meth:`to_dict`, this raises :class:`ConfigurationError` for a
+        config holding a live :class:`random.Random`, whose state has no
+        stable serialization.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "EstimatorConfig":

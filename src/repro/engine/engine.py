@@ -88,6 +88,11 @@ class EngineStats:
         cached — each hit is a full resampling pass avoided.
     worlds_sampled:
         Total possible worlds drawn across all pool builds.
+    world_pools_evicted:
+        How many cached pools were dropped because a graph exceeded its
+        retention bound (8 pools per graph).  A seed- or budget-sweeping
+        workload that keeps evicting is resampling worlds it could have
+        reused — this counter makes that churn visible.
     """
 
     decompositions_computed: int = 0
@@ -96,6 +101,7 @@ class EngineStats:
     world_pools_built: int = 0
     world_pool_hits: int = 0
     worlds_sampled: int = 0
+    world_pools_evicted: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
@@ -341,13 +347,16 @@ class ReliabilityEngine:
             self._world_pools[id(graph)] = entry
         return entry[1]
 
-    @staticmethod
     def _store_pool(
-        pools: Dict[Tuple[int, int], WorldPool], key: Tuple[int, int], pool: WorldPool
+        self,
+        pools: Dict[Tuple[int, int], WorldPool],
+        key: Tuple[int, int],
+        pool: WorldPool,
     ) -> None:
         pools[key] = pool
         while len(pools) > _MAX_POOLS_PER_GRAPH:
             pools.pop(next(iter(pools)))
+            self._stats.world_pools_evicted += 1
 
     def _cached_pool(
         self, graph, seed: int, samples: int
@@ -524,6 +533,7 @@ class ReliabilityEngine:
         *,
         graph=None,
         workers: Optional[int] = None,
+        seed_indices: Optional[Sequence[int]] = None,
     ) -> List[QueryResult]:
         """Answer a batch of typed queries with shared preprocessing.
 
@@ -542,22 +552,46 @@ class ReliabilityEngine:
             submission indices, pooled worlds come from one shared pool
             sampled in order-stable chunks, and the merge step restores
             submission order.
+        seed_indices:
+            Pin each query of the batch to an explicit position in the
+            :meth:`query_seed(i) <query_seed>` schedule (one index per
+            query, in batch order) instead of the session's running
+            counter.  This is how the service layer evaluates every
+            request as if it were the first query of a fresh session
+            (``seed_indices=[0] * n``), so an answer is independent of
+            what the shared engine served before it — the property its
+            result cache relies on.  Works identically at any worker
+            count.
         """
         graph = self._require_graph(graph)
         items = list(queries)
+        if seed_indices is not None:
+            seed_indices = [int(index) for index in seed_indices]
+            if len(seed_indices) != len(items):
+                raise ConfigurationError(
+                    f"seed_indices lists {len(seed_indices)} entries for a "
+                    f"batch of {len(items)} queries; pass one index per query"
+                )
         workers = self._resolve_workers(workers, len(items))
         if workers <= 1 or any(not isinstance(query, Query) for query in items):
             # The second disjunct replicates serial failure semantics for a
             # malformed batch exactly: the valid prefix runs (advancing the
             # seed cursor and session state as serial would) and the first
             # non-Query item raises in place.
-            return [self.query(query, graph=graph) for query in items]
+            if seed_indices is None:
+                return [self.query(query, graph=graph) for query in items]
+            return [
+                self.query(query, graph=graph, seed_index=index)
+                for query, index in zip(items, seed_indices)
+            ]
         from repro.engine.parallel import execute_batch
 
         # Serial query() makes `graph` the session's active graph on every
         # call; the sharded path must leave the same session state behind.
         self._active = graph
-        return execute_batch(self, graph, items, mode="query", workers=workers)
+        return execute_batch(
+            self, graph, items, mode="query", workers=workers, seed_indices=seed_indices
+        )
 
     def execution_plan(self, queries: Iterable[Query], *, workers: Optional[int] = None):
         """The :class:`~repro.engine.parallel.ExecutionPlan` a parallel batch would use.

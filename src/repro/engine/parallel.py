@@ -257,11 +257,13 @@ def _run_shard(
     ``rng=None``/``workers=1``; the base seed is shipped explicitly), same
     graph, the parent's decomposition index when one exists, and the
     pre-built world pools — then answers each query pinned to its
-    submission index's seed.  It returns the index-tagged results, the
-    :class:`EngineStats` delta its queries accumulated, and — when a query
-    raised — a ``(submission_index, exception, seeds_consumed)`` triple
-    describing the first failure (the shard stops there, exactly as a
-    serial batch would stop at its first failing query).
+    assigned seed index (the submission index by default; an explicit
+    schedule position when the caller passed ``seed_indices``).  It
+    returns the position-tagged results, the :class:`EngineStats` delta
+    its queries accumulated, and — when a query raised — a ``(position,
+    exception, seeds_consumed)`` triple describing the first failure (the
+    shard stops there, exactly as a serial batch would stop at its first
+    failing query).
     """
     mode, config, base_seed, graph, decomposition, items, pools = payload
     from repro.engine.engine import ReliabilityEngine
@@ -277,20 +279,20 @@ def _run_shard(
     baseline = engine.stats.snapshot()
     results: List[Tuple[int, Any]] = []
     failure: Optional[Tuple[int, BaseException, int]] = None
-    for index, item in items:
+    for position, seed_index, item in items:
         before = engine.stats.queries_served
         try:
             if mode == "query":
-                result = engine.query(item, graph=graph, seed_index=index)
+                result = engine.query(item, graph=graph, seed_index=seed_index)
             else:
-                result = engine.estimate(item, graph=graph, seed_index=index)
+                result = engine.estimate(item, graph=graph, seed_index=seed_index)
         except Exception as error:
             # How many seeds the failing query itself consumed (0 when it
             # failed validation before drawing one, 1 afterwards) — the
             # parent needs this to restore the serial cursor position.
-            failure = (index, error, engine.stats.queries_served - before)
+            failure = (position, error, engine.stats.queries_served - before)
             break
-        results.append((index, result))
+        results.append((position, result))
     delta = engine.stats.since(baseline)
     return results, dataclasses.asdict(delta), failure
 
@@ -350,6 +352,7 @@ def execute_batch(
     mode: str,
     workers: int,
     plan: Optional[ExecutionPlan] = None,
+    seed_indices: Optional[Sequence[int]] = None,
 ) -> List[Any]:
     """Run a batch through worker processes, bit-identical to serial.
 
@@ -357,6 +360,11 @@ def execute_batch(
     :meth:`~ReliabilityEngine.query_many` once the ``workers`` knob
     resolves above 1.  ``mode`` selects the item type: ``"estimate"``
     (terminal tuples) or ``"query"`` (typed :class:`Query` objects).
+    ``seed_indices`` optionally pins each query to an explicit position in
+    the engine's seed schedule (one entry per item, in batch order)
+    instead of the default consecutive submission indices — the service
+    layer passes ``[0] * n`` so every request replays the random stream of
+    a fresh session's first query.
 
     Stats contract: on success the parent session's counters afterwards
     equal a serial run's — ``queries_served`` advances by ``len(items)``
@@ -387,8 +395,15 @@ def execute_batch(
             f"plan covers {plan.total_queries} queries but the batch has {num}"
         )
 
+    if seed_indices is not None and len(seed_indices) != num:
+        raise ConfigurationError(
+            f"seed_indices lists {len(seed_indices)} entries for a batch "
+            f"of {num} queries; pass one index per query"
+        )
+
     # Reserve the batch's seed range up-front: query i of the batch uses
-    # query_seed(start + i) no matter which shard answers it.
+    # query_seed(start + i) — or its pinned seed_indices[i] — no matter
+    # which shard answers it.
     start = engine.stats.queries_served
     engine._stats.queries_served += num
 
@@ -423,7 +438,14 @@ def execute_batch(
                 )
             futures = []
             for shard in plan.shards:
-                shard_items = [(start + index, items[index]) for index in shard]
+                shard_items = [
+                    (
+                        index,
+                        seed_indices[index] if seed_indices is not None else start + index,
+                        items[index],
+                    )
+                    for index in shard
+                ]
                 futures.append(
                     executor.submit(
                         _run_shard,
@@ -432,8 +454,8 @@ def execute_batch(
                 )
             for future in futures:
                 pairs, delta, failure = future.result()
-                for seed_index, result in pairs:
-                    results[seed_index - start] = result
+                for position, result in pairs:
+                    results[position] = result
                 deltas.append(delta)
                 if failure is not None:
                     failures.append(failure)
@@ -444,10 +466,10 @@ def execute_batch(
         raise
 
     if failures:
-        seed_index, error, consumed = min(failures, key=lambda item: item[0])
+        position, error, consumed = min(failures, key=lambda item: item[0])
         # Serial consumption up to the failure: one seed per preceding
         # query, plus the failing query's own draw (if it got that far).
-        engine._stats.queries_served = seed_index + consumed
+        engine._stats.queries_served = start + position + consumed
         raise error
     total = _stats_from_dict({})
     for delta in deltas:

@@ -45,6 +45,7 @@ Example
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -218,6 +219,21 @@ class Query:
                 value = list(value)
             payload[spec.name] = value
         return payload
+
+    def canonical_key(self) -> str:
+        """A stable string identifying this query's semantic content.
+
+        The key is the query's :meth:`to_dict` form serialized with sorted
+        keys and compact separators (non-JSON vertex labels fall back to
+        ``repr``), so two query objects produce equal keys iff they would
+        produce identical answers on the same prepared graph — equal kind
+        and equal field values.  It is stable across processes and
+        sessions, which is what the service layer's result cache keys on
+        (together with the graph and config fingerprints).
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+        )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Query":

@@ -631,7 +631,8 @@ def run_queries(
     stats = engine.stats
     table.add_note(
         f"shared world pool: {stats.world_pools_built} built, "
-        f"{stats.world_pool_hits} cache hits, {stats.worlds_sampled} worlds "
+        f"{stats.world_pool_hits} cache hits, {stats.world_pools_evicted} "
+        f"evicted, {stats.worlds_sampled} worlds "
         f"sampled for {stats.queries_served} queries"
         + (f"; {config.workers} worker processes" if config.workers > 1 else "")
     )

@@ -29,6 +29,7 @@ from repro.graph.components import GraphDecomposition, decompose_graph
 from repro.graph.connectivity import terminals_connected
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
 
 __all__ = [
     "DatasetCache",
@@ -36,6 +37,8 @@ __all__ = [
     "Search",
     "generate_searches",
     "queries_from_searches",
+    "service_workload",
+    "zipf_indices",
 ]
 
 Vertex = Hashable
@@ -199,3 +202,92 @@ def queries_from_searches(
                 f"unknown query workload kind {kind!r}; expected one of: {known}"
             )
     return queries
+
+
+# ----------------------------------------------------------------------
+# Service traffic: zipf-skewed request streams
+# ----------------------------------------------------------------------
+def zipf_indices(
+    num_items: int, length: int, *, skew: float = 1.1, seed: int = 0
+) -> List[int]:
+    """Draw ``length`` item indices with a Zipf-like popularity skew.
+
+    Index ``i`` (rank ``i + 1``) is drawn with probability proportional to
+    ``1 / (i + 1) ** skew`` — the classic head-heavy request distribution
+    real query traffic exhibits, and the shape a result cache thrives on:
+    a handful of hot queries dominate, a long tail keeps some misses
+    coming.  Deterministic for a given ``seed``.
+    """
+    check_positive_int(num_items, "num_items")
+    check_positive_int(length, "length")
+    if skew < 0:
+        raise ConfigurationError(f"skew must be >= 0, got {skew!r}")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(num_items)]
+    generator = resolve_rng(seed)
+    return generator.choices(range(num_items), weights=weights, k=length)
+
+
+def service_workload(
+    graph: UncertainGraph,
+    dataset: str,
+    *,
+    distinct: int = 20,
+    length: int = 200,
+    skew: float = 1.1,
+    seed: int = 2019,
+    kinds: Sequence[str] = QUERY_WORKLOAD_KINDS,
+    threshold: float = 0.3,
+    samples: Optional[int] = None,
+) -> Tuple[List[Query], List[int]]:
+    """A zipf-skewed request stream for the service layer.
+
+    Builds ``distinct`` distinct typed queries (cycling through ``kinds``
+    over random terminal sets) and a request stream of ``length`` indices
+    into them drawn by :func:`zipf_indices` — what the service benchmark
+    and the CI smoke job replay against a running server.
+
+    Returns ``(distinct_queries, request_indices)``; the stream's ``i``-th
+    request is ``distinct_queries[request_indices[i]]``.  The returned
+    queries are guaranteed pairwise-distinct by
+    :meth:`~repro.engine.queries.Query.canonical_key` (kinds whose queries
+    ignore the terminal set, like clustering, are varied by their own
+    parameters), so a cache serving the stream sees exactly ``distinct``
+    cold misses.
+    """
+    check_positive_int(distinct, "distinct")
+    if not kinds:
+        raise ConfigurationError("kinds must name at least one query kind")
+    searches = generate_searches(graph, dataset, 3, distinct, seed=seed)
+    distinct_queries: List[Query] = []
+    seen = set()
+    position = 0
+    # Cycle kinds over the searches; parameter-only kinds are varied by
+    # cluster count, and any residual duplicates are skipped (with a
+    # bounded number of extra draws to top the workload back up).
+    while len(distinct_queries) < distinct and position < distinct * 4:
+        search = searches[position % len(searches)]
+        kind = kinds[position % len(kinds)]
+        if position >= len(searches):
+            # Fresh terminal sets for top-up rounds.
+            search = generate_searches(
+                graph, dataset, 3, 1, seed=seed + 1000 + position
+            )[0]
+        (query,) = queries_from_searches(
+            [search],
+            kind,
+            threshold=threshold,
+            samples=samples,
+            num_clusters=2 + (position // len(kinds)) % max(2, graph.num_vertices // 2),
+        )
+        position += 1
+        key = query.canonical_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        distinct_queries.append(query)
+    if len(distinct_queries) < distinct:
+        raise ConfigurationError(
+            f"could not build {distinct} distinct queries on {dataset!r} "
+            f"(got {len(distinct_queries)}); lower distinct= or add kinds"
+        )
+    return distinct_queries, zipf_indices(distinct, length, skew=skew, seed=seed + 1)

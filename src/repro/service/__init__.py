@@ -1,0 +1,74 @@
+"""The query-serving subsystem: serve reliability queries to many clients.
+
+Layered on the engine (:mod:`repro.engine`), this package turns the
+library into a *service*: many clients, one shared environment of
+prepared graphs, with cross-request reuse the engine alone cannot do.
+
+* :mod:`repro.service.catalog` — :class:`GraphCatalog`: named uncertain
+  graphs keyed by content fingerprint, each served by one prepared
+  :class:`~repro.engine.engine.ReliabilityEngine` per config, so 2ECC
+  indexes and world pools are shared across all clients,
+* :mod:`repro.service.cache` — :class:`ResultCache`: an LRU (+ optional
+  TTL), byte-bounded cache keyed by ``(graph fingerprint, query
+  canonical key, config fingerprint)``; hits are bit-identical to fresh
+  deterministic-seed evaluation,
+* :mod:`repro.service.coalesce` — :class:`SingleFlightBatcher`:
+  concurrent identical requests share one computation, and distinct
+  pending requests for the same graph fold into one
+  ``query_many(workers=N)`` micro-batch,
+* :mod:`repro.service.core` — :class:`ReliabilityService`: the blocking
+  serving facade combining the three,
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio JSON-over-HTTP front-end (``/query``, ``/query_batch``,
+  ``/graphs``, ``/stats``, ``/healthz``, with admission control) and its
+  small blocking client.
+
+Run a server from the command line (or the ``repro-serve`` script)::
+
+    python -m repro.service --port 8350 --graphs karate,tokyo --workers 2
+
+Example (in-process)
+--------------------
+>>> from repro.engine import EstimatorConfig
+>>> from repro.engine.queries import KTerminalQuery
+>>> from repro.service import GraphCatalog, ReliabilityService
+>>> catalog = GraphCatalog(EstimatorConfig(backend="sampling", samples=300, rng=7))
+>>> _ = catalog.register_dataset("karate")
+>>> service = ReliabilityService(catalog)
+>>> first = service.query("karate", KTerminalQuery(terminals=(1, 34)))
+>>> again = service.query("karate", KTerminalQuery(terminals=(1, 34)))
+>>> first["cached"], again["cached"], first["checksum"] == again["checksum"]
+(False, True, True)
+>>> service.close()
+"""
+
+from repro.service.cache import CacheStats, ResultCache, cache_key
+from repro.service.catalog import CatalogEntry, GraphCatalog, graph_fingerprint
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceResponse,
+)
+from repro.service.coalesce import CoalesceStats, SingleFlightBatcher
+from repro.service.core import ReliabilityService, ServiceStats
+from repro.service.server import AdmissionStats, ServiceServer
+
+__all__ = [
+    "AdmissionStats",
+    "CacheStats",
+    "CatalogEntry",
+    "CoalesceStats",
+    "GraphCatalog",
+    "ReliabilityService",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceResponse",
+    "ServiceServer",
+    "ServiceStats",
+    "SingleFlightBatcher",
+    "cache_key",
+    "graph_fingerprint",
+]

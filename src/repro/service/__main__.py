@@ -1,0 +1,168 @@
+"""Command-line entry point of the query service.
+
+Usage::
+
+    python -m repro.service --port 8350 --graphs karate
+    python -m repro.service --graphs karate,tokyo --backend sampling \
+        --samples 1000 --workers 2
+    python -m repro.service --graph-file mygraph=edges.txt --port 0
+
+(Installed as the ``repro-serve`` console script.)  ``--port 0`` binds an
+ephemeral port; the bound address is printed either way, so wrappers (the
+CI smoke job, the benchmark) can parse it from the first stdout line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from repro.datasets import available_datasets
+from repro.engine.config import EstimatorConfig
+from repro.engine.registry import available_backends
+from repro.exceptions import ReproError
+from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
+from repro.service.catalog import GraphCatalog
+from repro.service.core import ReliabilityService
+from repro.service.server import ServiceServer
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve reliability queries over JSON/HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8350, help="bind port (0 for ephemeral)"
+    )
+    parser.add_argument(
+        "--graphs",
+        default="karate",
+        metavar="KEYS",
+        help=(
+            "comma-separated dataset keys to register "
+            f"(available: {', '.join(available_datasets())})"
+        ),
+    )
+    parser.add_argument(
+        "--graph-file",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register an edge-list file under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--scale", choices=["bench", "paper"], default="bench",
+        help="dataset scale for --graphs",
+    )
+    parser.add_argument(
+        "--backend",
+        default="sampling",
+        metavar="NAME",
+        help=f"reliability backend (registered: {', '.join(available_backends())})",
+    )
+    parser.add_argument("--samples", type=int, default=1_000, help="sample budget s")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="engine seed (default: the service's pinned deterministic seed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes each micro-batch is sharded over",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="largest micro-batch size"
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=DEFAULT_MAX_BYTES,
+        help="result-cache byte budget (0 disables caching)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="result-cache TTL in seconds (default: no expiry)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="query requests evaluated concurrently",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="accepted-but-waiting requests beyond --max-inflight (then 429)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Build the catalog, start the server, serve until interrupted."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = EstimatorConfig(
+            backend=args.backend, samples=args.samples, rng=args.seed
+        )
+        catalog = GraphCatalog(config)
+        for key in [key.strip() for key in args.graphs.split(",") if key.strip()]:
+            catalog.register_dataset(key, scale=args.scale)
+        for spec in args.graph_file:
+            name, _, path = spec.partition("=")
+            if not name or not path:
+                print(f"error: --graph-file expects NAME=PATH, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            catalog.register_file(name, path)
+        cache = (
+            ResultCache(max_bytes=args.cache_bytes, ttl=args.cache_ttl)
+            if args.cache_bytes > 0
+            else None
+        )
+        service = ReliabilityService(
+            catalog,
+            cache=cache,
+            batch_workers=args.workers,
+            max_batch=args.max_batch,
+        )
+        server = ServiceServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    server.start_background()
+    print(
+        f"serving {', '.join(catalog.names())} on http://{server.address} "
+        f"(backend {catalog.config.backend!r}, s={catalog.config.samples}, "
+        f"cache={'off' if cache is None else 'on'}, "
+        f"batch workers={args.workers})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _signal_handler)
+        except ValueError:  # not the main thread (embedded use)
+            break
+    try:
+        stop.wait()
+    finally:
+        server.close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""The graph catalog: named uncertain graphs with prepared engines.
+
+The service layer's shared environment is a :class:`GraphCatalog` — a
+registry of named uncertain graphs (datasets from :mod:`repro.datasets`,
+files loaded through :mod:`repro.graph.io`, or caller-built graphs), each
+stamped with a content fingerprint and served by prepared
+:class:`~repro.engine.engine.ReliabilityEngine` sessions.  One engine
+exists per ``(graph, config)`` pair, so every client of the service shares
+the same 2-edge-connected decomposition index and the same cached world
+pools instead of re-preparing per request.
+
+Fingerprints here are *content* fingerprints (a SHA-256 over the vertex
+and edge lists), not the in-process ``topology_fingerprint()`` stamp: the
+service's cache keys must survive process restarts and identify a graph by
+what it contains, not by where it lives in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets import load_dataset
+from repro.engine.config import EstimatorConfig
+from repro.engine.engine import ReliabilityEngine
+from repro.exceptions import ConfigurationError
+from repro.graph.io import read_edge_list
+from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = ["CatalogEntry", "GraphCatalog", "graph_fingerprint"]
+
+#: Seed substituted when a service config leaves ``rng`` unset.  The
+#: service's cache-key contract requires a deterministic seed; pinning the
+#: default here (instead of OS seeding) makes an unconfigured service
+#: reproducible across restarts.
+DEFAULT_SERVICE_SEED = 2019
+
+
+def graph_fingerprint(graph: UncertainGraph) -> str:
+    """A stable hex digest of a graph's content.
+
+    Covers the vertex set (in iteration order — sampled worlds depend on
+    it) and every edge's endpoints and probability in edge-id order; the
+    display name is deliberately excluded.  Two graphs fingerprint equally
+    iff every reliability query answers identically on them, across
+    processes and sessions.
+    """
+    payload = {
+        "vertices": [repr(vertex) for vertex in graph.vertices()],
+        "edges": [
+            [repr(edge.u), repr(edge.v), edge.probability] for edge in graph.edges()
+        ],
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered graph: its name, content, and fingerprint."""
+
+    name: str
+    graph: UncertainGraph
+    fingerprint: str
+    source: str
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-safe summary for the ``/graphs`` endpoint."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "average_degree": round(self.graph.average_degree(), 4),
+            "average_probability": round(self.graph.average_probability(), 4),
+        }
+
+
+class GraphCatalog:
+    """Named uncertain graphs, each with prepared per-config engines.
+
+    Parameters
+    ----------
+    config:
+        The default :class:`EstimatorConfig` of engines this catalog
+        prepares.  A config without an integer seed is pinned to
+        :data:`DEFAULT_SERVICE_SEED` — the service's answers must be
+        deterministic functions of ``(graph, query, config)``, so OS
+        seeding is not an option here; a live ``random.Random`` is
+        rejected for the same reason.
+
+    Notes
+    -----
+    Thread-safe: the server answers requests from multiple threads, and
+    registration may race with queries.  Engines are created lazily on
+    first use per ``(graph name, config fingerprint)`` and prepared
+    (decomposition indexed) exactly once.
+    """
+
+    def __init__(self, config: Optional[EstimatorConfig] = None) -> None:
+        self._config = self._normalize_config(config or EstimatorConfig())
+        self._entries: Dict[str, CatalogEntry] = {}
+        self._engines: Dict[Tuple[str, str], ReliabilityEngine] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _normalize_config(config: EstimatorConfig) -> EstimatorConfig:
+        import random
+
+        if isinstance(config.rng, random.Random):
+            raise ConfigurationError(
+                "service configs must use an int seed (or None for the "
+                "pinned default); a live random.Random has no stable "
+                "fingerprint, so cached results could not be reproduced"
+            )
+        if config.rng is None:
+            config = config.replace(rng=DEFAULT_SERVICE_SEED)
+        return config
+
+    @property
+    def config(self) -> EstimatorConfig:
+        """The catalog's default (normalized) engine configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, graph: UncertainGraph, *, source: str = "caller"
+    ) -> CatalogEntry:
+        """Register ``graph`` under ``name``; returns its catalog entry.
+
+        Re-registering a name with identical content is a no-op; with
+        different content it raises, because clients may hold cached
+        results keyed by the old fingerprint under that name.
+        """
+        if not name:
+            raise ConfigurationError("a catalog entry needs a non-empty name")
+        entry = CatalogEntry(
+            name=name,
+            graph=graph,
+            fingerprint=graph_fingerprint(graph),
+            source=source,
+        )
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None:
+                if existing.fingerprint == entry.fingerprint:
+                    return existing
+                raise ConfigurationError(
+                    f"catalog name {name!r} is already registered with "
+                    "different content; unregister it first or pick a new name"
+                )
+            self._entries[name] = entry
+        return entry
+
+    def register_dataset(
+        self, key: str, *, name: Optional[str] = None, scale: str = "bench"
+    ) -> CatalogEntry:
+        """Load a :mod:`repro.datasets` dataset and register it (by its key)."""
+        graph = load_dataset(key, scale=scale)
+        return self.register(name or key, graph, source=f"dataset:{key}@{scale}")
+
+    def register_file(self, name: str, path: str) -> CatalogEntry:
+        """Read an edge-list file (:func:`repro.graph.io.read_edge_list`)."""
+        graph = read_edge_list(path, name=name)
+        return self.register(name, graph, source=f"file:{path}")
+
+    def unregister(self, name: str) -> None:
+        """Drop a graph and every engine prepared for it."""
+        with self._lock:
+            self._entries.pop(name, None)
+            for key in [key for key in self._engines if key[0] == name]:
+                del self._engines[key]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered graph names, in registration order."""
+        with self._lock:
+            return list(self._entries)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The catalog entry for ``name``; raises for unknown names."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(repr(key) for key in self.names()) or "none"
+            raise ConfigurationError(
+                f"unknown graph {name!r}; registered graphs: {known}"
+            )
+        return entry
+
+    def engine(
+        self, name: str, config: Optional[EstimatorConfig] = None
+    ) -> ReliabilityEngine:
+        """The prepared engine serving ``name`` under ``config``.
+
+        One engine exists per ``(graph name, config fingerprint)``; it is
+        created and ``prepare()``-d on first use, so its decomposition
+        index and world pools are shared by every later request.
+        """
+        entry = self.entry(name)
+        config = self._normalize_config(config) if config is not None else self._config
+        key = (name, config.fingerprint())
+        with self._lock:
+            engine = self._engines.get(key)
+        if engine is None:
+            # Prepare outside the lock: decomposing a large graph can take
+            # seconds and must not stall lookups on other graphs (or the
+            # health probe).  Racing builders may duplicate the work once;
+            # setdefault keeps the first engine so the key stays unique.
+            built = ReliabilityEngine(config).prepare(entry.graph)
+            with self._lock:
+                engine = self._engines.setdefault(key, built)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> List[Dict[str, object]]:
+        """JSON-safe summaries of every entry (the ``/graphs`` payload)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.describe() for entry in entries]
+
+    def engine_stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Per-graph, per-config engine counters (the ``/stats`` payload).
+
+        Shape: ``{graph name: {config fingerprint: EngineStats dict}}``,
+        including the ``world_pools_evicted`` counter.
+        """
+        import dataclasses
+
+        with self._lock:
+            engines = dict(self._engines)
+        stats: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for (name, config_key), engine in engines.items():
+            stats.setdefault(name, {})[config_key] = dataclasses.asdict(engine.stats)
+        return stats

@@ -1,0 +1,175 @@
+"""A small blocking client for the service's JSON/HTTP protocol.
+
+:class:`ServiceClient` wraps :mod:`http.client` (stdlib only, one
+connection per call — the server closes connections after each response)
+and translates the wire format back into typed objects:
+``query`` / ``query_batch`` accept :class:`~repro.engine.queries.Query`
+objects (or their ``to_dict`` forms) and return
+:class:`ServiceResponse` values whose ``result`` is rebuilt through
+:func:`~repro.engine.queries.result_from_dict`.
+
+Example
+-------
+>>> from repro.service import ServiceClient
+>>> from repro.engine.queries import KTerminalQuery
+>>> client = ServiceClient("127.0.0.1", 8350)            # doctest: +SKIP
+>>> answer = client.query("karate", KTerminalQuery(terminals=(1, 34)))  # doctest: +SKIP
+>>> answer.result.reliability, answer.cached             # doctest: +SKIP
+(0.63, False)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.engine.queries import Query, QueryResult, result_from_dict
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceResponse",
+]
+
+QueryLike = Union[Query, Mapping[str, Any]]
+
+
+class ServiceError(ReproError):
+    """The server answered with an error status.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code.
+    payload:
+        The decoded JSON error body (``{}`` when undecodable).
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"service answered {status}: {payload.get('error', payload)!r}"
+        )
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed this request (HTTP 429); retry after a backoff."""
+
+
+@dataclass
+class ServiceResponse:
+    """One answered query: the typed result plus serving metadata."""
+
+    graph: str
+    kind: str
+    cached: bool
+    checksum: str
+    result: QueryResult
+    raw: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServiceResponse":
+        return cls(
+            graph=payload["graph"],
+            kind=payload["kind"],
+            cached=bool(payload.get("cached", False)),
+            checksum=payload["checksum"],
+            result=result_from_dict(payload["result"]),
+            raw=payload,
+        )
+
+
+class ServiceClient:
+    """Blocking client of one service endpoint.
+
+    Parameters
+    ----------
+    host / port:
+        The server address (e.g. from ``ServiceServer.port``).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8350, *, timeout: float = 300.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """The liveness payload of ``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def graphs(self) -> List[Dict[str, Any]]:
+        """The catalog summaries of ``GET /graphs``."""
+        return self._request("GET", "/graphs")["graphs"]
+
+    def stats(self) -> Dict[str, Any]:
+        """The counters of ``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def query(self, graph: str, query: QueryLike) -> ServiceResponse:
+        """Answer one query on the named graph."""
+        payload = self._request(
+            "POST", "/query", {"graph": graph, "query": _query_dict(query)}
+        )
+        return ServiceResponse.from_payload(payload)
+
+    def query_batch(
+        self, graph: str, queries: Sequence[QueryLike]
+    ) -> List[Union[ServiceResponse, Dict[str, Any]]]:
+        """Answer a batch; failed items come back as their error dicts."""
+        payload = self._request(
+            "POST",
+            "/query_batch",
+            {"graph": graph, "queries": [_query_dict(query) for query in queries]},
+        )
+        outcomes: List[Union[ServiceResponse, Dict[str, Any]]] = []
+        for item in payload["results"]:
+            if "error" in item:
+                outcomes.append(item)
+            else:
+                outcomes.append(ServiceResponse.from_payload(item))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            blob = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if blob else {}
+            connection.request(method, path, body=blob, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                raise ServiceOverloadedError(response.status, payload)
+            if response.status != 200:
+                raise ServiceError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+
+def _query_dict(query: QueryLike) -> Dict[str, Any]:
+    if isinstance(query, Query):
+        return query.to_dict()
+    return dict(query)

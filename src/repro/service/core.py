@@ -1,0 +1,328 @@
+"""The serving core: catalog + result cache + coalescer, one facade.
+
+:class:`ReliabilityService` is the blocking, thread-safe heart of the
+service layer; the HTTP front-end (:mod:`repro.service.server`) is a thin
+JSON adapter over it, and tests and benchmarks drive it directly.
+
+Determinism contract
+--------------------
+Every request is evaluated as if it were the *first query of a fresh
+session*: the engine's config carries a pinned integer seed (see
+:class:`~repro.service.catalog.GraphCatalog`) and every query is executed
+with seed index 0 (``seed_indices=[0] * n`` through
+:meth:`ReliabilityEngine.query_many`).  An answer is therefore a pure
+function of the cache key triple::
+
+    (graph fingerprint, query.canonical_key(), config.fingerprint())
+
+so a cached payload is bit-identical (timing fields aside, per
+:func:`~repro.engine.parallel.results_checksum`) to recomputing — the
+property the cache, the coalescer, and the micro-batcher all rely on, and
+the one the benchmark's parity gate enforces.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.engine.parallel import results_checksum
+from repro.engine.queries import Query, query_from_dict
+from repro.exceptions import ConfigurationError
+from repro.service.cache import ResultCache, cache_key
+from repro.service.catalog import GraphCatalog
+from repro.service.coalesce import SingleFlightBatcher
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ReliabilityService", "ServiceStats"]
+
+QueryLike = Union[Query, Mapping[str, Any]]
+
+#: Sentinel distinguishing "no cache passed" (build a fresh default one)
+#: from an explicit ``cache=None`` (caching disabled).
+_DEFAULT_CACHE = object()
+
+
+@dataclass
+class ServiceStats:
+    """Request-level counters of one :class:`ReliabilityService`.
+
+    ``engine_evaluations`` counts queries the engine actually computed —
+    the number the cache and the coalescer exist to minimize; the
+    benchmark's ≥2× reduction gate compares it between cache-on and
+    cache-off runs of the same workload.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    engine_evaluations: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class ReliabilityService:
+    """Serve reliability queries over a catalog of prepared graphs.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`GraphCatalog` naming the graphs this service answers
+        queries on.  Its (normalized, deterministically seeded) config is
+        the service's evaluation config.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching (the
+        benchmark's cache-off mode).  Defaults to a fresh cache with
+        default bounds.
+    batch_workers:
+        Worker processes each micro-batch is sharded over
+        (``engine.query_many(workers=batch_workers)``); ``1`` evaluates
+        batches serially in-process.
+    max_batch:
+        Largest micro-batch one evaluator call may receive.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        *,
+        cache: Any = _DEFAULT_CACHE,
+        batch_workers: int = 1,
+        max_batch: int = 64,
+    ) -> None:
+        check_positive_int(batch_workers, "batch_workers")
+        self._catalog = catalog
+        self._cache: Optional[ResultCache] = (
+            ResultCache() if cache is _DEFAULT_CACHE else cache
+        )
+        self._batch_workers = batch_workers
+        self._config_fingerprint = catalog.config.fingerprint()
+        self._stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._batcher = SingleFlightBatcher(self._evaluate_group, max_batch=max_batch)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> GraphCatalog:
+        """The graph catalog this service answers queries on."""
+        return self._catalog
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The result cache (``None`` when caching is disabled)."""
+        return self._cache
+
+    def stats(self) -> Dict[str, Any]:
+        """The aggregated ``/stats`` payload: service, cache, coalescer,
+        per-graph engine counters (including ``world_pools_evicted``)."""
+        with self._stats_lock:
+            service = self._stats.to_dict()
+        return {
+            "service": service,
+            "cache": self._cache.stats().to_dict() if self._cache is not None else None,
+            "coalescer": self._batcher.stats().to_dict(),
+            "engines": self._catalog.engine_stats(),
+            "config_fingerprint": self._config_fingerprint,
+        }
+
+    def describe_graphs(self) -> List[Dict[str, Any]]:
+        """The ``/graphs`` payload."""
+        return self._catalog.describe()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, graph: str, query: QueryLike, *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Answer one query on the named graph; returns the JSON payload.
+
+        Cache hits return immediately; misses coalesce with identical
+        in-flight requests and ride the next micro-batch.  Evaluation
+        errors (unknown graph, invalid terminals, ...) re-raise here —
+        the HTTP layer maps them to 4xx responses.
+        """
+        with self._stats_lock:
+            self._stats.requests += 1
+        try:
+            request = self._prepare(graph, query)
+            payload = self._lookup(request.key)
+            if payload is not None:
+                with self._stats_lock:
+                    self._stats.cache_hits += 1
+                return self._respond(payload, cached=True, graph=graph)
+            future = self._batcher.submit(graph, request.key, request.query)
+            payload = future.result(timeout=timeout)
+        except Exception:
+            with self._stats_lock:
+                self._stats.errors += 1
+            raise
+        return self._respond(payload, cached=False, graph=graph)
+
+    def query_batch(
+        self,
+        graph: str,
+        queries: Sequence[QueryLike],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Answer a batch; returns one payload per query, in order.
+
+        Per-item failures become ``{"error": ..., "error_type": ...}``
+        entries instead of failing the whole batch — batch clients should
+        check each entry.
+        """
+        requests = []
+        outcomes: List[Optional[Dict[str, Any]]] = []
+        for query in queries:
+            with self._stats_lock:
+                self._stats.requests += 1
+            try:
+                requests.append(self._prepare(graph, query))
+                outcomes.append(None)
+            except Exception as error:  # bad payloads stay per-item
+                requests.append(None)
+                outcomes.append(_error_payload(error))
+                with self._stats_lock:
+                    self._stats.errors += 1
+        futures: List[Optional[Any]] = [None] * len(requests)
+        for position, request in enumerate(requests):
+            if request is None:
+                continue
+            payload = self._lookup(request.key)
+            if payload is not None:
+                with self._stats_lock:
+                    self._stats.cache_hits += 1
+                outcomes[position] = self._respond(payload, cached=True, graph=graph)
+            else:
+                futures[position] = self._batcher.submit(
+                    graph, request.key, request.query
+                )
+        for position, future in enumerate(futures):
+            if future is None:
+                continue
+            try:
+                outcomes[position] = self._respond(
+                    future.result(timeout=timeout), cached=False, graph=graph
+                )
+            except Exception as error:
+                outcomes[position] = _error_payload(error)
+                with self._stats_lock:
+                    self._stats.errors += 1
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def close(self) -> None:
+        """Drain pending work and stop the batcher thread."""
+        if not self._closed:
+            self._closed = True
+            self._batcher.close()
+
+    def __enter__(self) -> "ReliabilityService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    class _Request:
+        __slots__ = ("query", "key")
+
+        def __init__(self, query: Query, key: Any) -> None:
+            self.query = query
+            self.key = key
+
+    def _prepare(self, graph: str, query: QueryLike) -> "ReliabilityService._Request":
+        if isinstance(query, Mapping):
+            query = query_from_dict(query)
+        if not isinstance(query, Query):
+            raise ConfigurationError(
+                f"expected a Query object or its to_dict() form, got {type(query)!r}"
+            )
+        entry = self._catalog.entry(graph)
+        key = cache_key(
+            entry.fingerprint, query.canonical_key(), self._config_fingerprint
+        )
+        return self._Request(query, key)
+
+    def _lookup(self, key: Any) -> Optional[Dict[str, Any]]:
+        if self._cache is None:
+            return None
+        return self._cache.get(key)
+
+    @staticmethod
+    def _respond(
+        payload: Dict[str, Any], *, cached: bool, graph: str
+    ) -> Dict[str, Any]:
+        # Deep copy: callers may mutate the response, and the payload (its
+        # nested "result" dict included) is shared with the cache and with
+        # coalesced waiters.  The graph name is stamped per request — the
+        # cache key is content-based, so a hit may have been computed under
+        # a different catalog name for the same graph.
+        response = copy.deepcopy(payload)
+        response["cached"] = cached
+        response["graph"] = graph
+        return response
+
+    def _evaluate_group(self, group: str, items: Sequence[Any]) -> List[Any]:
+        """Evaluate one drained micro-batch on the group's shared engine.
+
+        Runs on the batcher thread.  The whole batch goes through one
+        ``query_many(workers=batch_workers, seed_indices=[0]*n)`` call;
+        if that raises (one bad query fails a shared batch), each query is
+        retried individually so failures stay per-request.  Successful
+        payloads are stored in the cache before their futures resolve.
+        """
+        engine = self._catalog.engine(group)
+        fingerprint = self._catalog.entry(group).fingerprint
+        queries = [request for _, request in items]
+        before = engine.stats.queries_served
+        results: Optional[List[Any]] = None
+        try:
+            results = engine.query_many(
+                queries,
+                workers=self._batch_workers,
+                seed_indices=[0] * len(queries),
+            )
+        except Exception:
+            results = None
+        if results is None:
+            results = []
+            for query in queries:
+                try:
+                    results.append(engine.query(query, seed_index=0))
+                except Exception as error:
+                    results.append(error)
+        # Count real engine work, not intent: the fallback path re-runs a
+        # failed batch query by query, and the engine's own counter is the
+        # one source that sees both attempts.
+        with self._stats_lock:
+            self._stats.engine_evaluations += engine.stats.queries_served - before
+        outcomes: List[Any] = []
+        for (key, query), result in zip(items, results):
+            if isinstance(result, Exception):
+                outcomes.append(result)
+                continue
+            payload = {
+                "graph": group,
+                "graph_fingerprint": fingerprint,
+                "config_fingerprint": self._config_fingerprint,
+                "kind": type(result).kind,
+                "checksum": results_checksum([result]),
+                "result": result.to_dict(),
+            }
+            if self._cache is not None:
+                self._cache.put(key, payload)
+            outcomes.append(payload)
+        return outcomes
+
+
+def _error_payload(error: Exception) -> Dict[str, Any]:
+    return {"error": str(error), "error_type": type(error).__name__}

@@ -1,0 +1,376 @@
+"""The JSON-over-HTTP network front-end (stdlib asyncio only).
+
+A deliberately small HTTP/1.1 server exposing the service over five
+endpoints, all speaking the existing wire format
+(:func:`~repro.engine.queries.query_from_dict` /
+:func:`~repro.engine.queries.result_from_dict`):
+
+=========================  =============================================
+``GET /healthz``           liveness probe (name, registered graph count)
+``GET /graphs``            the catalog: names, fingerprints, sizes
+``GET /stats``             service + cache + coalescer + engine counters
+``POST /query``            ``{"graph": name, "query": Query.to_dict()}``
+``POST /query_batch``      ``{"graph": name, "queries": [...]}``
+=========================  =============================================
+
+Evaluation runs on a bounded thread pool (``max_inflight`` threads) so
+the asyncio loop never blocks on engine work; requests beyond the pool
+plus a bounded wait queue are rejected with **429** and a ``Retry-After``
+header — admission control, so overload degrades into fast rejections
+instead of unbounded queueing.  Client errors (unknown graph, malformed
+query, invalid terminals) map to **400**; everything else to **500**.
+
+Connections are one-request (``Connection: close``), which keeps the
+protocol parser trivial; the blocking
+:class:`~repro.service.client.ServiceClient` opens one connection per
+call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.service.core import ReliabilityService
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AdmissionStats", "MAX_BODY_BYTES", "ServiceServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Per-connection read timeout (seconds) for headers and body.
+_IO_TIMEOUT = 30.0
+
+#: Largest request body the server will buffer (a query batch of
+#: thousands of queries fits in a fraction of this); bigger declared
+#: bodies are rejected 413 before a byte of them is read.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _BodyTooLarge(ValueError):
+    """A declared Content-Length beyond :data:`MAX_BODY_BYTES`."""
+
+
+@dataclass
+class AdmissionStats:
+    """Admission-control counters of one :class:`ServiceServer`."""
+
+    accepted: int = 0
+    rejected: int = 0
+    peak_pending: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class ServiceServer:
+    """Serve a :class:`ReliabilityService` over JSON/HTTP.
+
+    Parameters
+    ----------
+    service:
+        The blocking serving core.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` once started — how tests and the benchmark run
+        without port collisions).
+    max_inflight:
+        Evaluation threads — query requests evaluated concurrently.
+    queue_limit:
+        Accepted-but-waiting query requests beyond ``max_inflight``;
+        anything above ``max_inflight + queue_limit`` is rejected 429.
+    request_timeout:
+        Upper bound (seconds) one query request may spend waiting on the
+        service before answering 500.
+    """
+
+    def __init__(
+        self,
+        service: ReliabilityService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 8,
+        queue_limit: int = 32,
+        request_timeout: float = 300.0,
+    ) -> None:
+        check_positive_int(max_inflight, "max_inflight")
+        if queue_limit < 0:
+            raise ConfigurationError(f"queue_limit must be >= 0, got {queue_limit}")
+        self._service = service
+        self._host = host
+        self._requested_port = port
+        self._max_pending = max_inflight + queue_limit
+        self._request_timeout = request_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve"
+        )
+        self._admission = AdmissionStats()
+        self._pending = 0
+        self._admission_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (available once the server has started)."""
+        if self._port is None:
+            raise ConfigurationError("the server has not been started yet")
+        return self._port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the running server."""
+        return f"{self._host}:{self.port}"
+
+    async def start(self) -> "ServiceServer":
+        """Bind and start accepting connections on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` (when needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start_background(self) -> "ServiceServer":
+        """Run the server on a daemon thread; returns once it is bound.
+
+        This is how tests, the benchmark harness, and the CI smoke job
+        embed a live server: ``server.start_background()``, talk to
+        ``server.port``, then ``server.close()``.
+        """
+        ready = threading.Event()
+        startup_error: Dict[str, BaseException] = {}
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as error:  # surface bind failures to the caller
+                startup_error["error"] = error
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if "error" in startup_error:
+            raise startup_error["error"]
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, stop the loop thread, release the thread pool."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+
+            def _shutdown() -> None:
+                server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            parsed = await asyncio.wait_for(self._read_request(reader), _IO_TIMEOUT)
+        except asyncio.TimeoutError:
+            parsed, status, payload = None, 400, {"error": "request read timed out"}
+        except _BodyTooLarge as error:
+            parsed, status, payload = None, 413, {"error": str(error)}
+        except Exception as error:
+            parsed, status, payload = None, 400, {
+                "error": f"malformed request: {error}"
+            }
+        else:
+            if parsed is None:
+                return  # client closed without sending a request
+        if parsed is not None:
+            method, path, body = parsed
+            try:
+                status, payload = await self._route(method, path, body)
+            except Exception as error:
+                # Parse errors above are the client's fault (400); anything
+                # escaping the routing layer is ours (500).
+                status, payload = 500, {
+                    "error": str(error),
+                    "error_type": type(error).__name__,
+                }
+        try:
+            blob = json.dumps(payload, default=repr).encode("utf-8")
+            headers = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(blob)}",
+                "Connection: close",
+            ]
+            if status == 429:
+                headers.append("Retry-After: 1")
+            writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + blob)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            raise ValueError(f"bad request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY_BYTES:
+            raise _BodyTooLarge(
+                f"request body of {content_length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "graphs": len(self._service.catalog.names()),
+            }
+        if path == "/graphs" and method == "GET":
+            return 200, {"graphs": self._service.describe_graphs()}
+        if path == "/stats" and method == "GET":
+            stats = self._service.stats()
+            stats["admission"] = self._admission_snapshot()
+            return 200, stats
+        if path in ("/query", "/query_batch"):
+            if method != "POST":
+                return 405, {"error": f"{path} expects POST"}
+            return await self._handle_query(path, body)
+        return 404, {"error": f"unknown endpoint {path!r}"}
+
+    def _admission_snapshot(self) -> Dict[str, int]:
+        with self._admission_lock:
+            snapshot = self._admission.to_dict()
+            snapshot["pending"] = self._pending
+            snapshot["max_pending"] = self._max_pending
+        return snapshot
+
+    async def _handle_query(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            graph = payload["graph"]
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+
+        # Admission control: accept at most max_inflight executing plus
+        # queue_limit waiting query requests; shed the rest immediately.
+        with self._admission_lock:
+            if self._pending >= self._max_pending:
+                self._admission.rejected += 1
+                return 429, {
+                    "error": "service overloaded; retry later",
+                    "pending": self._pending,
+                }
+            self._pending += 1
+            self._admission.accepted += 1
+            self._admission.peak_pending = max(
+                self._admission.peak_pending, self._pending
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/query":
+                if "query" not in payload:
+                    return 400, {"error": "missing 'query' field"}
+                work = lambda: self._service.query(  # noqa: E731
+                    graph, payload["query"], timeout=self._request_timeout
+                )
+                result = await loop.run_in_executor(self._executor, work)
+                return 200, result
+            queries = payload.get("queries")
+            if not isinstance(queries, list):
+                return 400, {"error": "missing 'queries' list"}
+            work = lambda: self._service.query_batch(  # noqa: E731
+                graph, queries, timeout=self._request_timeout
+            )
+            results = await loop.run_in_executor(self._executor, work)
+            return 200, {"graph": graph, "results": results}
+        except ReproError as error:
+            return 400, {"error": str(error), "error_type": type(error).__name__}
+        except Exception as error:
+            return 500, {"error": str(error), "error_type": type(error).__name__}
+        finally:
+            with self._admission_lock:
+                self._pending -= 1

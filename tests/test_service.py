@@ -1,0 +1,642 @@
+"""Tests of the query-serving subsystem (:mod:`repro.service`).
+
+Covers the catalog, the result cache, the single-flight micro-batcher,
+the blocking service core (including its bit-exactness contract: a cached
+answer equals a fresh deterministic-seed engine evaluation), the pinned
+``seed_indices`` engine plumbing the service rides on, and the JSON/HTTP
+front-end end to end — server + client on an ephemeral port, error
+mapping, and 429 admission control.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.engine import EstimatorConfig, ReliabilityEngine, results_checksum
+from repro.engine.queries import (
+    KTerminalQuery,
+    ReliabilitySearchQuery,
+    ThresholdQuery,
+    TopKReliableVerticesQuery,
+)
+from repro.exceptions import ConfigurationError, TerminalError
+from repro.service import (
+    GraphCatalog,
+    ReliabilityService,
+    ResultCache,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceServer,
+    SingleFlightBatcher,
+    cache_key,
+    graph_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return load_dataset("karate")
+
+
+@pytest.fixture()
+def config():
+    return EstimatorConfig(backend="sampling", samples=200, rng=7)
+
+
+@pytest.fixture()
+def catalog(karate, config):
+    cat = GraphCatalog(config)
+    cat.register("karate", karate)
+    return cat
+
+
+# ----------------------------------------------------------------------
+# Graph fingerprints and the catalog
+# ----------------------------------------------------------------------
+class TestGraphFingerprint:
+    def test_identical_content_same_fingerprint(self, karate):
+        assert graph_fingerprint(karate) == graph_fingerprint(load_dataset("karate"))
+
+    def test_probability_change_changes_fingerprint(self, karate):
+        copy = karate.copy()
+        first_edge = next(iter(copy.edge_ids()))
+        copy.set_probability(first_edge, 0.123)
+        assert graph_fingerprint(copy) != graph_fingerprint(karate)
+
+    def test_name_does_not_change_fingerprint(self, karate):
+        renamed = karate.copy(name="renamed")
+        assert graph_fingerprint(renamed) == graph_fingerprint(karate)
+
+
+class TestGraphCatalog:
+    def test_register_and_lookup(self, catalog, karate):
+        entry = catalog.entry("karate")
+        assert entry.graph is karate
+        assert catalog.names() == ["karate"]
+        assert entry.describe()["vertices"] == 34
+
+    def test_reregistering_same_content_is_noop(self, catalog, karate):
+        assert catalog.register("karate", load_dataset("karate")).fingerprint == (
+            graph_fingerprint(karate)
+        )
+
+    def test_reregistering_different_content_raises(self, catalog, karate):
+        other = karate.copy()
+        other.set_probability(next(iter(other.edge_ids())), 0.01)
+        with pytest.raises(ConfigurationError, match="different content"):
+            catalog.register("karate", other)
+
+    def test_unknown_name_is_actionable(self, catalog):
+        with pytest.raises(ConfigurationError, match="registered graphs"):
+            catalog.entry("nope")
+
+    def test_one_engine_per_config_shared_across_calls(self, catalog):
+        first = catalog.engine("karate")
+        second = catalog.engine("karate")
+        assert first is second
+        assert first.stats.decompositions_computed == 1
+
+    def test_unseeded_config_is_pinned_deterministically(self, karate):
+        one = GraphCatalog(EstimatorConfig(backend="sampling", samples=100))
+        two = GraphCatalog(EstimatorConfig(backend="sampling", samples=100))
+        assert one.config.rng == two.config.rng
+        assert one.config.fingerprint() == two.config.fingerprint()
+
+    def test_live_random_config_is_rejected(self):
+        import random
+
+        with pytest.raises(ConfigurationError, match="int seed"):
+            GraphCatalog(EstimatorConfig(rng=random.Random(1)))
+
+    def test_register_dataset_and_unregister(self, config):
+        cat = GraphCatalog(config)
+        cat.register_dataset("karate")
+        cat.engine("karate")
+        cat.unregister("karate")
+        assert cat.names() == []
+
+    def test_engine_stats_exposed_per_config(self, catalog):
+        engine = catalog.engine("karate")
+        engine.query(KTerminalQuery(terminals=(1, 34)))
+        stats = catalog.engine_stats()["karate"]
+        (counters,) = stats.values()
+        assert counters["queries_served"] == 1
+        assert "world_pools_evicted" in counters
+
+
+# ----------------------------------------------------------------------
+# The result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_miss_and_stats(self):
+        cache = ResultCache()
+        key = cache_key("g", "q", "c")
+        assert cache.get(key) is None
+        assert cache.put(key, {"value": 1})
+        assert cache.get(key) == {"value": 1}
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+        assert stats.current_bytes > 0
+
+    def test_lru_eviction_by_entry_count(self):
+        cache = ResultCache(max_entries=2)
+        for index in range(3):
+            cache.put(cache_key("g", str(index), "c"), {"value": index})
+        assert cache.get(cache_key("g", "0", "c")) is None  # oldest evicted
+        assert cache.get(cache_key("g", "2", "c")) == {"value": 2}
+        assert cache.stats().evictions == 1
+
+    def test_lru_order_updated_by_get(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(cache_key("g", "a", "c"), {"value": "a"})
+        cache.put(cache_key("g", "b", "c"), {"value": "b"})
+        cache.get(cache_key("g", "a", "c"))  # refresh "a"
+        cache.put(cache_key("g", "c", "c"), {"value": "c"})
+        assert cache.get(cache_key("g", "b", "c")) is None
+        assert cache.get(cache_key("g", "a", "c")) == {"value": "a"}
+
+    def test_byte_budget_bounds_content(self):
+        payload = {"blob": "x" * 100}
+        size = ResultCache.payload_size(payload)
+        cache = ResultCache(max_bytes=size * 2)
+        for index in range(4):
+            cache.put(cache_key("g", str(index), "c"), payload)
+        assert cache.stats().current_bytes <= size * 2
+        assert len(cache) == 2
+
+    def test_oversized_payload_not_cached(self):
+        cache = ResultCache(max_bytes=10)
+        assert not cache.put(cache_key("g", "q", "c"), {"blob": "x" * 100})
+        assert len(cache) == 0
+
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        cache = ResultCache(ttl=5.0, clock=lambda: now[0])
+        cache.put(cache_key("g", "q", "c"), {"value": 1})
+        assert cache.get(cache_key("g", "q", "c")) == {"value": 1}
+        now[0] = 6.0
+        assert cache.get(cache_key("g", "q", "c")) is None
+        assert cache.stats().expirations == 1
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(ttl=0)
+        with pytest.raises((ConfigurationError, ValueError)):
+            ResultCache(max_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Single-flight + micro-batching
+# ----------------------------------------------------------------------
+class TestSingleFlightBatcher:
+    def test_identical_keys_coalesce_to_one_evaluation(self):
+        release = threading.Event()
+        calls = []
+
+        def evaluate(group, items):
+            release.wait(timeout=10)
+            calls.append(list(items))
+            return [f"answer:{key}" for key, _ in items]
+
+        batcher = SingleFlightBatcher(evaluate)
+        try:
+            # Prime a slow first batch so later submissions stay pending.
+            blocker = batcher.submit("g", "warm", None)
+            time.sleep(0.05)
+            first = batcher.submit("g", "k1", None)
+            duplicate = batcher.submit("g", "k1", None)
+            assert duplicate is first
+            release.set()
+            assert first.result(timeout=10) == "answer:k1"
+            assert blocker.result(timeout=10) == "answer:warm"
+        finally:
+            batcher.close()
+        stats = batcher.stats()
+        assert stats.submitted == 3
+        assert stats.coalesced == 1
+        evaluated_keys = [key for batch in calls for key, _ in batch]
+        assert evaluated_keys.count("k1") == 1
+
+    def test_pending_requests_fold_into_one_batch(self):
+        release = threading.Event()
+        batches = []
+
+        def evaluate(group, items):
+            release.wait(timeout=10)
+            batches.append(len(items))
+            return [key for key, _ in items]
+
+        batcher = SingleFlightBatcher(evaluate)
+        try:
+            futures = [batcher.submit("g", f"k{i}", None) for i in range(6)]
+            release.set()
+            assert [future.result(timeout=10) for future in futures] == [
+                f"k{i}" for i in range(6)
+            ]
+        finally:
+            batcher.close()
+        # The first drain may catch 1 request; everything submitted while
+        # it waited folds into the next one.
+        assert max(batches) > 1
+        assert batcher.stats().largest_batch == max(batches)
+
+    def test_per_item_errors_stay_per_item(self):
+        def evaluate(group, items):
+            return [
+                ValueError("bad") if key == "bad" else "ok" for key, _ in items
+            ]
+
+        batcher = SingleFlightBatcher(evaluate)
+        try:
+            good = batcher.submit("g", "good", None)
+            bad = batcher.submit("g", "bad", None)
+            assert good.result(timeout=10) == "ok"
+            with pytest.raises(ValueError, match="bad"):
+                bad.result(timeout=10)
+        finally:
+            batcher.close()
+
+    def test_evaluator_raising_fails_the_batch_not_the_batcher(self):
+        def evaluate(group, items):
+            raise RuntimeError("boom")
+
+        batcher = SingleFlightBatcher(evaluate)
+        try:
+            future = batcher.submit("g", "k", None)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10)
+            # The worker thread survives; the key was cleared from the
+            # in-flight table, so resubmission works (and fails again).
+            retry = batcher.submit("g", "k", None)
+            assert retry is not future
+            with pytest.raises(RuntimeError):
+                retry.result(timeout=10)
+        finally:
+            batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = SingleFlightBatcher(lambda group, items: [None for _ in items])
+        batcher.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            batcher.submit("g", "k", None)
+
+
+# ----------------------------------------------------------------------
+# Pinned seed indices (the engine plumbing the service rides on)
+# ----------------------------------------------------------------------
+class TestSeedIndices:
+    QUERIES = [
+        KTerminalQuery(terminals=(1, 34)),
+        ThresholdQuery(terminals=(2, 30), threshold=0.4),
+        ReliabilitySearchQuery(sources=(1,), threshold=0.5),
+        TopKReliableVerticesQuery(sources=(5,), k=3),
+    ]
+
+    def _fresh(self, karate, **overrides):
+        config = EstimatorConfig(backend="sampling", samples=200, rng=7, **overrides)
+        return ReliabilityEngine(config).prepare(karate)
+
+    def test_pinned_batch_matches_fresh_first_queries(self, karate):
+        batched = self._fresh(karate).query_many(
+            self.QUERIES, seed_indices=[0] * len(self.QUERIES)
+        )
+        singles = [self._fresh(karate).query(query) for query in self.QUERIES]
+        assert results_checksum(batched) == results_checksum(singles)
+
+    def test_pinned_batch_is_worker_count_invariant(self, karate):
+        serial = self._fresh(karate).query_many(
+            self.QUERIES, seed_indices=[0] * len(self.QUERIES)
+        )
+        sharded = self._fresh(karate).query_many(
+            self.QUERIES, workers=2, seed_indices=[0] * len(self.QUERIES)
+        )
+        assert results_checksum(serial) == results_checksum(sharded)
+
+    def test_pinned_s2bdd_batch_matches_fresh_first_queries(self, karate):
+        queries = self.QUERIES[:2]
+        config = EstimatorConfig(backend="s2bdd", samples=200, max_width=128, rng=7)
+        batched = ReliabilityEngine(config).prepare(karate).query_many(
+            queries, workers=2, seed_indices=[0, 0]
+        )
+        singles = [
+            ReliabilityEngine(config).prepare(karate).query(query)
+            for query in queries
+        ]
+        assert results_checksum(batched) == results_checksum(singles)
+
+    def test_length_mismatch_raises(self, karate):
+        engine = self._fresh(karate)
+        with pytest.raises(ConfigurationError, match="one index per query"):
+            engine.query_many(self.QUERIES, seed_indices=[0])
+
+    def test_default_schedule_unchanged_by_plumbing(self, karate):
+        pinned_none = self._fresh(karate).query_many(self.QUERIES)
+        explicit = self._fresh(karate).query_many(
+            self.QUERIES, seed_indices=[0, 1, 2, 3]
+        )
+        assert results_checksum(pinned_none) == results_checksum(explicit)
+
+
+# ----------------------------------------------------------------------
+# The serving core
+# ----------------------------------------------------------------------
+class TestReliabilityService:
+    def test_cached_response_is_bit_identical_to_fresh_engine(self, catalog, karate):
+        with ReliabilityService(catalog) as service:
+            query = KTerminalQuery(terminals=(1, 34))
+            first = service.query("karate", query)
+            second = service.query("karate", query)
+        assert (first["cached"], second["cached"]) == (False, True)
+        fresh = ReliabilityEngine(catalog.config).prepare(karate).query(query)
+        assert first["checksum"] == results_checksum([fresh])
+        assert second["checksum"] == first["checksum"]
+        assert second["result"] == first["result"]
+
+    def test_order_independence_across_service_instances(self, karate, config):
+        """The same query answers identically no matter what ran before it."""
+        probe = ThresholdQuery(terminals=(2, 30), threshold=0.4)
+
+        def checksum_after(warmup):
+            catalog = GraphCatalog(config)
+            catalog.register("karate", karate)
+            with ReliabilityService(catalog) as service:
+                for query in warmup:
+                    service.query("karate", query)
+                return service.query("karate", probe)["checksum"]
+
+        cold = checksum_after([])
+        warm = checksum_after(
+            [KTerminalQuery(terminals=(1, 34)), TopKReliableVerticesQuery(sources=(5,), k=2)]
+        )
+        assert cold == warm
+
+    def test_dict_queries_accepted(self, catalog):
+        with ReliabilityService(catalog) as service:
+            payload = service.query(
+                "karate", {"kind": "k-terminal", "terminals": [1, 34]}
+            )
+        assert payload["kind"] == "k-terminal"
+
+    def test_invalid_terminals_raise_through(self, catalog):
+        with ReliabilityService(catalog) as service:
+            with pytest.raises(TerminalError):
+                service.query("karate", KTerminalQuery(terminals=(999, 1000)))
+            assert service.stats()["service"]["errors"] == 1
+
+    def test_cache_disabled_mode_reevaluates(self, catalog):
+        with ReliabilityService(catalog, cache=None) as service:
+            query = KTerminalQuery(terminals=(1, 34))
+            first = service.query("karate", query)
+            second = service.query("karate", query)
+            stats = service.stats()
+        assert first["checksum"] == second["checksum"]
+        assert not second["cached"]
+        assert stats["cache"] is None
+        assert stats["service"]["engine_evaluations"] == 2
+
+    def test_query_batch_isolates_failures(self, catalog):
+        with ReliabilityService(catalog) as service:
+            outcomes = service.query_batch(
+                "karate",
+                [
+                    KTerminalQuery(terminals=(1, 34)),
+                    KTerminalQuery(terminals=(999,)),
+                    {"kind": "bogus"},
+                ],
+            )
+        assert "checksum" in outcomes[0]
+        assert outcomes[1]["error_type"] == "TerminalError"
+        assert "error" in outcomes[2]
+
+    def test_batched_evaluation_matches_fresh_singles(self, catalog, karate):
+        queries = [
+            KTerminalQuery(terminals=(1, 34)),
+            ThresholdQuery(terminals=(2, 30), threshold=0.4),
+            ReliabilitySearchQuery(sources=(1,), threshold=0.5),
+        ]
+        with ReliabilityService(catalog, batch_workers=2) as service:
+            outcomes = service.query_batch("karate", queries)
+        for query, outcome in zip(queries, outcomes):
+            fresh = ReliabilityEngine(catalog.config).prepare(karate).query(query)
+            assert outcome["checksum"] == results_checksum([fresh])
+
+    def test_cached_hit_reports_the_requested_graph_name(self, karate, config):
+        """Content-identical graphs under two names share cached results,
+        but each response names the graph the client asked for."""
+        catalog = GraphCatalog(config)
+        catalog.register("first", karate)
+        catalog.register("second", load_dataset("karate"))
+        query = KTerminalQuery(terminals=(1, 34))
+        with ReliabilityService(catalog) as service:
+            one = service.query("first", query)
+            two = service.query("second", query)
+        assert two["cached"]  # same content fingerprint → same cache key
+        assert (one["graph"], two["graph"]) == ("first", "second")
+        assert one["checksum"] == two["checksum"]
+
+    def test_mutating_a_response_does_not_poison_the_cache(self, catalog):
+        query = KTerminalQuery(terminals=(1, 34))
+        with ReliabilityService(catalog) as service:
+            first = service.query("karate", query)
+            original = first["result"]["estimate"]["reliability"]
+            first["result"]["estimate"]["reliability"] = -1.0
+            second = service.query("karate", query)
+        assert second["result"]["estimate"]["reliability"] == original
+
+    def test_prepare_failures_counted_consistently(self, catalog):
+        with ReliabilityService(catalog) as service:
+            with pytest.raises(ConfigurationError):
+                service.query("nope", KTerminalQuery(terminals=(1, 34)))
+            service.query_batch("nope", [KTerminalQuery(terminals=(1, 34))])
+            stats = service.stats()["service"]
+        assert stats["requests"] == 2
+        assert stats["errors"] == 2
+
+    def test_stats_shape(self, catalog):
+        with ReliabilityService(catalog) as service:
+            service.query("karate", KTerminalQuery(terminals=(1, 34)))
+            stats = service.stats()
+        assert set(stats) >= {"service", "cache", "coalescer", "engines"}
+        assert stats["service"]["requests"] == 1
+        (engine_counters,) = stats["engines"]["karate"].values()
+        assert "world_pools_evicted" in engine_counters
+
+
+# ----------------------------------------------------------------------
+# World-pool eviction accounting (satellite)
+# ----------------------------------------------------------------------
+class TestWorldPoolEviction:
+    def test_eviction_counter_tracks_pool_churn(self, karate):
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend="sampling", samples=50, rng=7)
+        ).prepare(karate)
+        for samples in range(10, 10 + 12):
+            engine.world_pool(samples=samples)
+        assert engine.stats.world_pools_built == 12
+        assert engine.stats.world_pools_evicted == 12 - 8  # bound is 8/graph
+        assert engine.stats.snapshot().world_pools_evicted == 4
+
+
+# ----------------------------------------------------------------------
+# The HTTP front-end, end to end
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_server(karate):
+    catalog = GraphCatalog(EstimatorConfig(backend="sampling", samples=200, rng=7))
+    catalog.register("karate", karate)
+    service = ReliabilityService(catalog)
+    server = ServiceServer(service, port=0).start_background()
+    yield server, service, catalog
+    server.close()
+    service.close()
+
+
+class TestHttpEndToEnd:
+    def test_healthz_and_graphs(self, live_server):
+        server, _, _ = live_server
+        client = ServiceClient("127.0.0.1", server.port)
+        assert client.healthz()["status"] == "ok"
+        (graph,) = client.graphs()
+        assert graph["name"] == "karate"
+        assert graph["vertices"] == 34
+
+    def test_query_roundtrip_and_cache_flag(self, live_server, karate):
+        server, _, catalog = live_server
+        client = ServiceClient("127.0.0.1", server.port)
+        query = KTerminalQuery(terminals=(3, 20))
+        first = client.query("karate", query)
+        second = client.query("karate", query)
+        assert (first.cached, second.cached) == (False, True)
+        assert first.checksum == second.checksum
+        fresh = ReliabilityEngine(catalog.config).prepare(karate).query(query)
+        assert first.checksum == results_checksum([fresh])
+        assert first.result.reliability == fresh.estimate.reliability
+
+    def test_query_batch_over_http(self, live_server):
+        server, _, _ = live_server
+        client = ServiceClient("127.0.0.1", server.port)
+        outcomes = client.query_batch(
+            "karate",
+            [
+                KTerminalQuery(terminals=(5, 6)),
+                {"kind": "threshold", "terminals": [7, 8], "threshold": 0.5},
+                {"kind": "bogus"},
+            ],
+        )
+        assert outcomes[0].kind == "k-terminal"
+        assert outcomes[1].kind == "threshold"
+        assert outcomes[2]["error_type"] == "ConfigurationError"
+
+    def test_stats_endpoint_merges_all_layers(self, live_server):
+        server, _, _ = live_server
+        client = ServiceClient("127.0.0.1", server.port)
+        client.query("karate", KTerminalQuery(terminals=(9, 10)))
+        stats = client.stats()
+        assert stats["service"]["requests"] >= 1
+        assert stats["cache"]["max_bytes"] > 0
+        assert "admission" in stats and stats["admission"]["accepted"] >= 1
+        assert "world_pools_evicted" in next(iter(stats["engines"]["karate"].values()))
+
+    def test_error_mapping(self, live_server):
+        server, _, _ = live_server
+        client = ServiceClient("127.0.0.1", server.port)
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("nope", KTerminalQuery(terminals=(1, 2)))
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("karate", {"kind": "bogus"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/missing")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/query")
+        assert excinfo.value.status == 405
+
+    def test_oversized_body_rejected_413(self, live_server):
+        import http.client
+
+        from repro.service.server import MAX_BODY_BYTES
+
+        server, _, _ = live_server
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()  # never send the body
+            assert connection.getresponse().status == 413
+        finally:
+            connection.close()
+
+    def test_internal_errors_map_to_500(self, live_server):
+        server, service, _ = live_server
+        original = service.stats
+        service.stats = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient("127.0.0.1", server.port).stats()
+            assert excinfo.value.status == 500
+        finally:
+            service.stats = original
+
+    def test_admission_control_sheds_overload(self, karate):
+        """With one evaluation slot and no queue, a concurrent burst 429s."""
+        release = threading.Event()
+
+        class SlowService:
+            catalog = GraphCatalog(EstimatorConfig(rng=7))
+
+            def describe_graphs(self):
+                return []
+
+            def stats(self):
+                return {}
+
+            def query(self, graph, query, timeout=None):
+                release.wait(timeout=10)
+                return {"graph": graph, "kind": "k-terminal", "checksum": "x",
+                        "result": {"kind": "k-terminal", "terminals": [1],
+                                   "estimate": {}}, "cached": False}
+
+        server = ServiceServer(
+            SlowService(), port=0, max_inflight=1, queue_limit=0
+        ).start_background()
+        try:
+            statuses = []
+            lock = threading.Lock()
+
+            def hit():
+                client = ServiceClient("127.0.0.1", server.port, timeout=30)
+                try:
+                    client._request(
+                        "POST", "/query",
+                        {"graph": "karate", "query": {"kind": "k-terminal",
+                                                      "terminals": [1, 2]}},
+                    )
+                    outcome = 200
+                except ServiceOverloadedError as error:
+                    outcome = error.status
+                with lock:
+                    statuses.append(outcome)
+
+            threads = [threading.Thread(target=hit) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.05)  # let each request register before the next
+            time.sleep(0.2)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=15)
+            assert statuses.count(200) == 1
+            assert statuses.count(429) == 3
+            stats = server._admission_snapshot()
+            assert stats["rejected"] == 3
+            assert stats["accepted"] == 1
+        finally:
+            server.close()

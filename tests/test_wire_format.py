@@ -1,0 +1,228 @@
+"""Wire-format stability tests: queries, results, checksums.
+
+The service layer's cache keys and its JSON protocol both ride on three
+contracts this module pins down:
+
+* every query kind round-trips exactly through ``to_dict`` /
+  ``query_from_dict`` (including a real JSON hop),
+* every result kind round-trips exactly through ``to_dict`` /
+  ``result_from_dict`` — verified over results produced by actually
+  evaluating each kind,
+* :func:`results_checksum` and :meth:`Query.canonical_key` are stable
+  *across processes* (Python hash randomization must not leak in), since
+  a cache populated by one server process must validate against
+  evaluations from another.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset
+from repro.engine import EstimatorConfig, ReliabilityEngine, results_checksum
+from repro.engine.queries import (
+    ALL_QUERY_KINDS,
+    ClusteringQuery,
+    KTerminalQuery,
+    Query,
+    ReliabilitySearchQuery,
+    ReliableSubgraphQuery,
+    ThresholdQuery,
+    TopKReliableVerticesQuery,
+    query_from_dict,
+    result_from_dict,
+)
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: one query builder per kind
+# ----------------------------------------------------------------------
+vertices = st.integers(min_value=1, max_value=34)  # karate's vertex labels
+# abs() folds -0.0 into 0.0: they compare equal, so equal queries must not
+# produce different canonical keys over the two spellings.
+thresholds = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(abs)
+vertex_tuples = st.lists(vertices, min_size=2, max_size=4, unique=True).map(tuple)
+
+
+@st.composite
+def any_query(draw) -> Query:
+    kind = draw(st.sampled_from(ALL_QUERY_KINDS))
+    if kind == "k-terminal":
+        return KTerminalQuery(terminals=draw(vertex_tuples))
+    if kind == "threshold":
+        return ThresholdQuery(terminals=draw(vertex_tuples), threshold=draw(thresholds))
+    if kind == "search":
+        return ReliabilitySearchQuery(
+            sources=draw(vertex_tuples),
+            threshold=draw(thresholds),
+            samples=draw(st.one_of(st.none(), st.integers(1, 500))),
+            refine_with_estimator=draw(st.booleans()),
+            refine_window=draw(thresholds),
+        )
+    if kind == "top-k":
+        return TopKReliableVerticesQuery(
+            sources=draw(vertex_tuples),
+            k=draw(st.integers(1, 10)),
+            samples=draw(st.one_of(st.none(), st.integers(1, 500))),
+        )
+    if kind == "subgraph":
+        return ReliableSubgraphQuery(
+            query_vertices=draw(vertex_tuples),
+            threshold=draw(thresholds),
+            max_size=draw(st.one_of(st.none(), st.integers(4, 12))),
+        )
+    assert kind == "clustering"
+    return ClusteringQuery(
+        num_clusters=draw(st.integers(1, 8)),
+        samples=draw(st.one_of(st.none(), st.integers(1, 500))),
+    )
+
+
+# ----------------------------------------------------------------------
+# Query round-trips
+# ----------------------------------------------------------------------
+class TestQueryRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(query=any_query())
+    def test_query_round_trips_through_dict(self, query):
+        assert query_from_dict(query.to_dict()) == query
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=any_query())
+    def test_query_round_trips_through_json(self, query):
+        payload = json.loads(json.dumps(query.to_dict()))
+        assert query_from_dict(payload) == query
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=any_query())
+    def test_canonical_key_survives_round_trip(self, query):
+        rebuilt = query_from_dict(json.loads(json.dumps(query.to_dict())))
+        assert rebuilt.canonical_key() == query.canonical_key()
+
+    @settings(max_examples=60, deadline=None)
+    @given(first=any_query(), second=any_query())
+    def test_canonical_key_equality_matches_query_equality(self, first, second):
+        if first == second:
+            assert first.canonical_key() == second.canonical_key()
+        else:
+            assert first.canonical_key() != second.canonical_key()
+
+
+# ----------------------------------------------------------------------
+# Result round-trips (over actually evaluated results)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def evaluated_results():
+    """One evaluated result per query kind, on a shared karate session."""
+    graph = load_dataset("karate")
+    engine = ReliabilityEngine(
+        EstimatorConfig(backend="sampling", samples=200, rng=7)
+    ).prepare(graph)
+    queries = [
+        KTerminalQuery(terminals=(1, 34)),
+        ThresholdQuery(terminals=(2, 30), threshold=0.4),
+        ReliabilitySearchQuery(sources=(1,), threshold=0.5),
+        TopKReliableVerticesQuery(sources=(5,), k=3),
+        ReliableSubgraphQuery(query_vertices=(1, 3), threshold=0.9, max_size=5),
+        ClusteringQuery(num_clusters=3),
+    ]
+    return engine.query_many(queries)
+
+
+class TestResultRoundTrip:
+    def test_all_kinds_covered(self, evaluated_results):
+        assert sorted(type(result).kind for result in evaluated_results) == sorted(
+            ALL_QUERY_KINDS
+        )
+
+    def test_results_round_trip_through_dict(self, evaluated_results):
+        for result in evaluated_results:
+            rebuilt = result_from_dict(result.to_dict())
+            assert type(rebuilt) is type(result)
+            assert rebuilt.to_dict() == result.to_dict()
+
+    def test_results_round_trip_through_json(self, evaluated_results):
+        for result in evaluated_results:
+            payload = json.loads(json.dumps(result.to_dict()))
+            rebuilt = result_from_dict(payload)
+            assert results_checksum([rebuilt]) == results_checksum([result])
+
+    def test_checksum_ignores_timing_fields_only(self, evaluated_results):
+        for result in evaluated_results:
+            payload = result.to_dict()
+            if "estimate" not in payload:
+                continue
+            changed = json.loads(json.dumps(payload))
+            changed["estimate"]["elapsed_seconds"] = 123.456
+            assert results_checksum([result_from_dict(changed)]) == results_checksum(
+                [result]
+            )
+            broken = json.loads(json.dumps(payload))
+            broken["estimate"]["reliability"] = 0.123456789
+            assert results_checksum([result_from_dict(broken)]) != results_checksum(
+                [result]
+            )
+
+
+# ----------------------------------------------------------------------
+# Cross-process stability
+# ----------------------------------------------------------------------
+_SUBPROCESS_SNIPPET = """
+from repro.datasets import load_dataset
+from repro.engine import EstimatorConfig, ReliabilityEngine, results_checksum
+from repro.engine.queries import (
+    ClusteringQuery, KTerminalQuery, ReliabilitySearchQuery, ThresholdQuery,
+    TopKReliableVerticesQuery,
+)
+graph = load_dataset("karate")
+engine = ReliabilityEngine(EstimatorConfig(backend="sampling", samples=200, rng=7))
+engine.prepare(graph)
+queries = [
+    KTerminalQuery(terminals=(1, 34)),
+    ThresholdQuery(terminals=(2, 30), threshold=0.4),
+    ReliabilitySearchQuery(sources=(1,), threshold=0.5),
+    TopKReliableVerticesQuery(sources=(5,), k=3),
+    ClusteringQuery(num_clusters=3),
+]
+results = engine.query_many(queries)
+print(results_checksum(results))
+print("|".join(query.canonical_key() for query in queries))
+"""
+
+
+class TestCrossProcessStability:
+    def test_checksum_and_canonical_keys_match_across_processes(self):
+        """A second interpreter (fresh hash seed) reproduces both values."""
+        graph = load_dataset("karate")
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend="sampling", samples=200, rng=7)
+        ).prepare(graph)
+        queries = [
+            KTerminalQuery(terminals=(1, 34)),
+            ThresholdQuery(terminals=(2, 30), threshold=0.4),
+            ReliabilitySearchQuery(sources=(1,), threshold=0.5),
+            TopKReliableVerticesQuery(sources=(5,), k=3),
+            ClusteringQuery(num_clusters=3),
+        ]
+        local_checksum = results_checksum(engine.query_many(queries))
+        local_keys = "|".join(query.canonical_key() for query in queries)
+
+        env = dict(os.environ)
+        env.pop("PYTHONHASHSEED", None)  # let the child pick its own hash seed
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.splitlines()
+        assert output[0] == local_checksum
+        assert output[1] == local_keys
