@@ -5,18 +5,25 @@ possible worlds according to the edge probabilities, check terminal
 connectivity in each, and aggregate with either the Monte Carlo or the
 Horvitz–Thompson estimator.  Its cost is ``O(s · (|V| + |E|))`` and its
 accuracy is limited by the variance ``R(1 − R)/s``.
+
+Since the compiled graph kernel (:mod:`repro.graph.compiled`) the inner
+loop runs over the graph's compiled form: each world is drawn as per-edge
+existence flags (one uniform per edge, in edge order — the historical
+stream, so results are bit-identical to the dict-based implementation) and
+terminal connectivity is a single early-exiting CSR walk instead of a
+dict-backed union-find rebuilt per sample.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
 from repro.core.estimators import EstimatorKind, horvitz_thompson_estimate
+from repro.graph.compiled import compile_graph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import RandomLike, resolve_rng
-from repro.utils.union_find import UnionFind
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SamplingEstimator", "SamplingResult"]
@@ -87,38 +94,41 @@ class SamplingEstimator:
         if len(terminals) <= 1:
             return SamplingResult(1.0, 0, 0, self._estimator)
 
-        edges = list(graph.edges())
+        compiled = compile_graph(graph)
+        targets = compiled.vertex_indices(terminals)
         rng = self._rng
+        want_ht = self._estimator is EstimatorKind.HORVITZ_THOMPSON
+        sample_flags = compiled.sample_exist_flags
+        connected_with_flags = compiled.connected_with_flags
         positive = 0
         # For the HT estimator we record (world probability, indicator) per
-        # distinct sampled world; probabilities are tracked in log space and
-        # converted at the end so that large graphs do not underflow inside
-        # the inclusion-probability computation (which takes floats anyway,
-        # but benefits from exactly-zero handling).
-        distinct_worlds: Dict[FrozenSet[int], Tuple[float, bool]] = {}
+        # distinct sampled world (keyed by its edge bitmask); probabilities
+        # are tracked in log space and converted at the end so that large
+        # graphs do not underflow inside the inclusion-probability
+        # computation (which takes floats anyway, but benefits from
+        # exactly-zero handling).
+        distinct_worlds: Dict[int, Tuple[float, bool]] = {}
+        probabilities = compiled.edge_probability
 
         for _ in range(self._samples):
-            union_find = UnionFind()
-            for terminal in terminals:
-                union_find.add(terminal)
-            existing: List[int] = []
-            log_probability = 0.0
-            for edge in edges:
-                exists = rng.random() < edge.probability
-                if exists:
-                    existing.append(edge.id)
-                    if edge.u != edge.v:
-                        union_find.union(edge.u, edge.v)
-                if self._estimator is EstimatorKind.HORVITZ_THOMPSON:
-                    chosen = edge.probability if exists else 1.0 - edge.probability
-                    log_probability += math.log(chosen) if chosen > 0.0 else float("-inf")
-            connected = union_find.same_component(terminals)
+            flags = sample_flags(rng)
+            connected = connected_with_flags(flags, targets)
             if connected:
                 positive += 1
-            if self._estimator is EstimatorKind.HORVITZ_THOMPSON:
-                key = frozenset(existing)
+            if want_ht:
+                key = compiled.mask_from_flags(flags)
                 if key not in distinct_worlds:
-                    probability = math.exp(log_probability) if log_probability > -745.0 else 0.0
+                    # Accumulate the log probability per edge in edge order
+                    # — the exact float sum the pre-kernel loop produced.
+                    log_probability = 0.0
+                    for exists, p in zip(flags, probabilities):
+                        chosen = p if exists else 1.0 - p
+                        log_probability += (
+                            math.log(chosen) if chosen > 0.0 else float("-inf")
+                        )
+                    probability = (
+                        math.exp(log_probability) if log_probability > -745.0 else 0.0
+                    )
                     distinct_worlds[key] = (probability, connected)
 
         if self._estimator is EstimatorKind.MONTE_CARLO:

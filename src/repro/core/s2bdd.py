@@ -34,10 +34,10 @@ from repro.core.frontier import EdgeOrdering, FrontierPlan, build_frontier_plan
 from repro.core.state import CONNECTED, DISCONNECTED, LIVE, NodeState, TransitionTable
 from repro.core.stratified import reduced_sample_count
 from repro.exceptions import ConfigurationError
+from repro.graph.compiled import IntUnionFind
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.kahan import KahanSum
 from repro.utils.rng import RandomLike, resolve_rng
-from repro.utils.union_find import UnionFind
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["S2BDD", "S2BDDResult", "Stratum"]
@@ -170,6 +170,9 @@ class S2BDD:
             rng=self._rng,
         )
         self._transitions = TransitionTable(self._plan, self._terminals)
+        # Flat-int state for the stratum-completion sampler, built lazily
+        # on the first sampling run (exact diagrams never need it).
+        self._completions: Optional[_StratumCompletionKernel] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -467,44 +470,127 @@ class S2BDD:
         where ``chosen_edges`` is a frozenset of the remaining-edge ids that
         were sampled as existing (``None`` unless ``track_world`` is set;
         it is only needed by the Horvitz–Thompson estimator).
+
+        Delegates to the flat-int completion kernel: one
+        :class:`~repro.graph.compiled.IntUnionFind` is reset per sample
+        instead of a dict-backed union-find being rebuilt, while the
+        uniform stream (one draw per remaining edge, in plan order) and
+        therefore every result stay bit-identical.
         """
-        plan = self._plan
+        kernel = self._completions
+        if kernel is None:
+            kernel = self._completions = _StratumCompletionKernel(
+                self._graph, self._plan, self._terminals
+            )
+        return kernel.sample(stratum, rng, track_world=track_world)
+
+
+class _StratumCompletionKernel:
+    """Per-diagram flat state for sampling stratum completions.
+
+    Interns the graph's vertices to ``0..n-1`` once, mirrors the plan's
+    edges into parallel index/probability lists, and keeps a single
+    reusable :class:`~repro.graph.compiled.IntUnionFind` whose slots
+    ``n + label`` act as the virtual per-component anchors the dict-based
+    sampler used to build from ``("component", label)`` tuples.
+    """
+
+    __slots__ = (
+        "_union_find",
+        "_anchor_base",
+        "_edge_u",
+        "_edge_v",
+        "_edge_probability",
+        "_edge_id",
+        "_num_edges",
+        "_plan",
+        "_terminals",
+        "_vertex_index",
+        "_frontier_cache",
+        "_unseen_cache",
+    )
+
+    def __init__(self, graph: UncertainGraph, plan: FrontierPlan, terminals) -> None:
+        self._vertex_index = {
+            vertex: position for position, vertex in enumerate(graph.vertices())
+        }
+        self._anchor_base = len(self._vertex_index)
+        self._union_find = IntUnionFind(self._anchor_base + plan.max_frontier_size())
+        index = self._vertex_index
+        self._edge_u = [index[edge.u] for edge in plan.edges]
+        self._edge_v = [index[edge.v] for edge in plan.edges]
+        self._edge_probability = [edge.probability for edge in plan.edges]
+        self._edge_id = [edge.id for edge in plan.edges]
+        self._num_edges = plan.num_edges
+        self._plan = plan
+        self._terminals = terminals
+        # layer -> interned frontier / still-unseen terminal indices.
+        self._frontier_cache: Dict[int, Tuple[int, ...]] = {}
+        self._unseen_cache: Dict[int, Tuple[int, ...]] = {}
+
+    def _frontier_indices(self, layer: int) -> Tuple[int, ...]:
+        cached = self._frontier_cache.get(layer)
+        if cached is None:
+            index = self._vertex_index
+            cached = tuple(index[vertex] for vertex in self._plan.frontiers[layer])
+            self._frontier_cache[layer] = cached
+        return cached
+
+    def _unseen_terminal_indices(self, layer: int) -> Tuple[int, ...]:
+        """Terminals whose edges are all still undecided (singletons)."""
+        cached = self._unseen_cache.get(layer)
+        if cached is None:
+            plan = self._plan
+            index = self._vertex_index
+            cached = tuple(
+                index[terminal]
+                for terminal in self._terminals
+                if plan.first_occurrence.get(terminal, plan.num_edges) >= layer
+            )
+            self._unseen_cache[layer] = cached
+        return cached
+
+    def sample(
+        self, stratum: Stratum, rng, *, track_world: bool = False
+    ) -> Tuple[bool, float, Optional[frozenset]]:
+        """Draw one completion of ``stratum``; see ``S2BDD._sample_completion``."""
         layer = stratum.layer
-        frontier = plan.frontiers[layer]
-        union_find = UnionFind()
+        union_find = self._union_find
+        union_find.reset()
+        union = union_find.union
+        base = self._anchor_base
 
-        # Seed the union-find with the frontier partition; a virtual anchor
-        # per component carries the "this component holds terminals" role.
-        anchors: List[Tuple[str, int]] = []
-        for vertex, label in zip(frontier, stratum.partition):
-            union_find.union(("component", label), vertex)
-        for label, count in enumerate(stratum.terminal_counts):
-            if count > 0:
-                anchors.append(("component", label))
-
-        # Terminals whose edges are all still undecided behave as singletons.
-        unseen_terminals = [
-            terminal
-            for terminal in self._terminals
-            if plan.first_occurrence.get(terminal, plan.num_edges) >= layer
+        # Seed with the frontier partition; the anchor slot per component
+        # carries the "this component holds terminals" role.
+        for vertex, label in zip(self._frontier_indices(layer), stratum.partition):
+            union(base + label, vertex)
+        anchors = [
+            base + label
+            for label, count in enumerate(stratum.terminal_counts)
+            if count > 0
         ]
 
         log_conditional = 0.0
         chosen: List[int] = []
         random_value = rng.random
-        union = union_find.union
-        for edge in plan.edges[layer:]:
-            if random_value() < edge.probability:
+        edge_u = self._edge_u
+        edge_v = self._edge_v
+        probabilities = self._edge_probability
+        for position in range(layer, self._num_edges):
+            if random_value() < probabilities[position]:
                 if track_world:
-                    log_conditional += _safe_log(edge.probability)
-                    chosen.append(edge.id)
-                if edge.u != edge.v:
-                    union(edge.u, edge.v)
+                    log_conditional += _safe_log(probabilities[position])
+                    chosen.append(self._edge_id[position])
+                u = edge_u[position]
+                v = edge_v[position]
+                if u != v:
+                    union(u, v)
             elif track_world:
-                log_conditional += _safe_log(1.0 - edge.probability)
+                log_conditional += _safe_log(1.0 - probabilities[position])
 
-        roots = {union_find.find(anchor) for anchor in anchors}
-        roots.update(union_find.find(terminal) for terminal in unseen_terminals)
+        find = union_find.find
+        roots = {find(anchor) for anchor in anchors}
+        roots.update(find(terminal) for terminal in self._unseen_terminal_indices(layer))
         connected = len(roots) <= 1
         return connected, log_conditional, frozenset(chosen) if track_world else None
 

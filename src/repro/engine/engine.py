@@ -43,6 +43,12 @@ from repro.engine.queries import Query, QueryContext, QueryResult, validate_quer
 from repro.engine.registry import ReliabilityBackend, create_backend
 from repro.engine.worlds import WorldPool
 from repro.exceptions import ConfigurationError
+from repro.graph.compiled import (
+    CompiledGraph,
+    compile_graph,
+    compiled_fingerprint,
+    is_compiled_cached,
+)
 from repro.graph.components import GraphDecomposition, decompose_graph
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
@@ -93,6 +99,15 @@ class EngineStats:
         retention bound (8 pools per graph).  A seed- or budget-sweeping
         workload that keeps evicting is resampling worlds it could have
         reused — this counter makes that churn visible.
+    graphs_compiled:
+        How many times ``prepare()`` compiled a graph into its flat-int
+        kernel form (:class:`~repro.graph.compiled.CompiledGraph`),
+        including recompilations forced by a topology or probability
+        change.  Like the decomposition, serving many queries on one
+        prepared graph keeps this at 1: compile once, evaluate many.
+    compiled_cache_hits:
+        How often ``prepare()`` found the graph's compiled form already
+        cached and current.
     """
 
     decompositions_computed: int = 0
@@ -102,6 +117,8 @@ class EngineStats:
     world_pool_hits: int = 0
     worlds_sampled: int = 0
     world_pools_evicted: int = 0
+    graphs_compiled: int = 0
+    compiled_cache_hits: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
@@ -241,7 +258,11 @@ class ReliabilityEngine:
         2-edge-connected decomposition and caches it by graph identity.
         Entries are stamped with the graph's topology fingerprint, so a
         graph mutated after preparation is transparently re-indexed instead
-        of silently served a stale decomposition.  Returns ``self`` so
+        of silently served a stale decomposition.  The graph's compiled
+        kernel form (:class:`~repro.graph.compiled.CompiledGraph`) is built
+        and cached alongside, so every sampling loop of the session runs on
+        flat-int state from the first query on (see
+        :attr:`EngineStats.graphs_compiled`).  Returns ``self`` so
         construction chains: ``ReliabilityEngine(cfg).prepare(graph)``.
         """
         key = id(graph)
@@ -254,8 +275,17 @@ class ReliabilityEngine:
         else:
             self._cache[key] = (graph, decompose_graph(graph), fingerprint)
             self._stats.decompositions_computed += 1
+        if is_compiled_cached(graph):
+            self._stats.compiled_cache_hits += 1
+        else:
+            self._stats.graphs_compiled += 1
+        compile_graph(graph)
         self._active = graph
         return self
+
+    def compiled_graph(self, graph=None) -> CompiledGraph:
+        """The (cached) compiled kernel form of the active or given graph."""
+        return compile_graph(self._require_graph(graph))
 
     def forget(self, graph) -> None:
         """Drop ``graph`` from the decomposition and world-pool caches."""
@@ -275,10 +305,12 @@ class ReliabilityEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def _world_fingerprint(graph) -> Tuple:
-        """Stamp invalidating pooled worlds on topology *or* probability change."""
-        return graph.topology_fingerprint() + (
-            hash(tuple(edge.probability for edge in graph.edges())),
-        )
+        """Stamp invalidating pooled worlds on topology *or* probability change.
+
+        Shared with the compile cache: sampled worlds and the compiled
+        kernel form bake in exactly the same inputs.
+        """
+        return compiled_fingerprint(graph)
 
     def world_pool(
         self,

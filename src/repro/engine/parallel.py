@@ -480,6 +480,16 @@ def execute_batch(
     total.world_pool_hits = max(0, total.world_pool_hits - fresh_pool_builds)
     if fresh_decomposition:
         total.decomposition_cache_hits = max(0, total.decomposition_cache_hits - 1)
+        # The parent's stand-in prepare() also did the serial first query's
+        # compile accounting; that query's worker twin re-validates the
+        # compiled cache like any other, so drop its extra hit too.
+        total.compiled_cache_hits = max(0, total.compiled_cache_hits - 1)
+    # Each worker process compiles the graph for itself on its first
+    # prepare(); that is process-local infrastructure a serial run never
+    # pays, so it does not enter the session's counters.  Per-query
+    # compiled-cache hits, by contrast, mirror serial exactly and merge
+    # through untouched.
+    total.graphs_compiled = 0
     engine._stats.merge(total, include_queries_served=False)
     return results
 

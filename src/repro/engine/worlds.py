@@ -41,11 +41,14 @@ Reproducibility contracts (two, by construction path):
 from __future__ import annotations
 
 import random
+from itertools import islice
+from operator import and_, eq
 from typing import (
     TYPE_CHECKING,
     Dict,
     Hashable,
     Iterable,
+    Iterator,
     List,
     NamedTuple,
     Optional,
@@ -54,6 +57,7 @@ from typing import (
 )
 
 from repro.exceptions import ConfigurationError, TerminalError
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.utils.rng import RandomLike, resolve_rng
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -115,53 +119,6 @@ def chunk_spans(
     ]
 
 
-class _WorldSampler:
-    """Per-graph sampling state shared by every pool-construction path.
-
-    Precomputes the vertex indexing and the ``(u, v, probability)`` draw
-    list once so chunked construction does not re-derive them per chunk.
-    """
-
-    def __init__(self, graph: "UncertainGraph") -> None:
-        self.vertices: List[Vertex] = list(graph.vertices())
-        self.index: Dict[Vertex, int] = {
-            vertex: position for position, vertex in enumerate(self.vertices)
-        }
-        self.draws: List[Tuple[int, int, float]] = [
-            (self.index[edge.u], self.index[edge.v], edge.probability)
-            for edge in graph.edges()
-            if not edge.is_loop()
-        ]
-
-    def sample(self, count: int, generator: "random.Random") -> List[Tuple[int, ...]]:
-        """Draw ``count`` worlds (one uniform per non-loop edge, edge order)."""
-        n = len(self.vertices)
-        worlds: List[Tuple[int, ...]] = []
-        for _ in range(count):
-            parent = list(range(n))
-            for u, v, probability in self.draws:
-                if generator.random() < probability:
-                    # Union with path halving; the labelling only needs the
-                    # partition, not any particular representative.
-                    while parent[u] != u:
-                        parent[u] = parent[parent[u]]
-                        u = parent[u]
-                    while parent[v] != v:
-                        parent[v] = parent[parent[v]]
-                        v = parent[v]
-                    if u != v:
-                        parent[u] = v
-            labels = []
-            for i in range(n):
-                root = i
-                while parent[root] != root:
-                    parent[root] = parent[parent[root]]
-                    root = parent[root]
-                labels.append(root)
-            worlds.append(tuple(labels))
-        return worlds
-
-
 def sample_world_chunks(
     graph: "UncertainGraph",
     *,
@@ -174,10 +131,13 @@ def sample_world_chunks(
     shard samples a disjoint subset of :func:`chunk_spans` and the parent
     concatenates the returned ``(chunk_index, labels)`` pairs in chunk
     order to obtain the exact pool :meth:`WorldPool.from_seed` builds.
+    Sampling runs on the compiled kernel
+    (:meth:`~repro.graph.compiled.CompiledGraph.sample_component_labels`),
+    which preserves the historical uniform stream and labels exactly.
     """
-    sampler = _WorldSampler(graph)
+    compiled = compile_graph(graph)
     return [
-        (index, sampler.sample(count, random.Random(chunk_seed(seed, index))))
+        (index, compiled.sample_component_labels(count, random.Random(chunk_seed(seed, index))))
         for index, count in spans
     ]
 
@@ -219,6 +179,14 @@ class WorldPool:
     That makes every connectivity question a scan of precomputed labels
     instead of a fresh sampling run.
 
+    Since the compiled kernel (:mod:`repro.graph.compiled`) the labellings
+    are sampled by :meth:`CompiledGraph.sample_component_labels` and held
+    *column-major*: one ``array('i')`` of per-world labels per vertex, so
+    every scan is a C-speed comparison of label columns instead of a
+    Python loop over world rows.  The sampled worlds, the public API, and
+    all fixed-seed results are bit-identical to the historical row-based
+    implementation.
+
     Parameters
     ----------
     graph:
@@ -236,6 +204,8 @@ class WorldPool:
         built from (``None`` for pools built from a live generator).
     """
 
+    __slots__ = ("_seed", "_compiled", "_vertices", "_index", "_num_worlds", "_columns")
+
     def __init__(
         self,
         graph: "UncertainGraph",
@@ -246,11 +216,24 @@ class WorldPool:
     ) -> None:
         check_positive_int(samples, "samples")
         generator = resolve_rng(rng)
-        sampler = _WorldSampler(graph)
+        compiled = compile_graph(graph)
+        self._adopt(compiled, compiled.sample_component_labels(samples, generator), seed)
+
+    def _adopt(
+        self,
+        compiled: CompiledGraph,
+        worlds: Sequence[Tuple[int, ...]],
+        seed: Optional[int],
+    ) -> None:
         self._seed = seed
-        self._vertices = sampler.vertices
-        self._index = sampler.index
-        self._worlds = sampler.sample(samples, generator)
+        self._compiled = compiled
+        self._vertices = compiled.vertices
+        self._index = compiled.vertex_index
+        self._num_worlds = len(worlds)
+        # Column-major storage: one tuple of per-world labels per vertex.
+        # Tuples beat array('i') here: their slots share the already-boxed
+        # label ints, so the C-speed scan maps never re-box on access.
+        self._columns: List[Tuple[int, ...]] = list(zip(*worlds))
 
     # ------------------------------------------------------------------
     # Alternative constructors (the parallel-stable seeded scheme)
@@ -272,11 +255,13 @@ class WorldPool:
         reassembled (:func:`sample_world_chunks` + :meth:`from_labels`).
         """
         check_positive_int(samples, "samples")
-        sampler = _WorldSampler(graph)
+        compiled = compile_graph(graph)
         worlds: List[Tuple[int, ...]] = []
         for index, count in chunk_spans(samples, chunk_size):
-            worlds.extend(sampler.sample(count, random.Random(chunk_seed(seed, index))))
-        return cls._from_state(sampler, worlds, seed)
+            worlds.extend(
+                compiled.sample_component_labels(count, random.Random(chunk_seed(seed, index)))
+            )
+        return cls._from_state(compiled, worlds, seed)
 
     @classmethod
     def from_labels(
@@ -294,31 +279,28 @@ class WorldPool:
         executor to reassemble a pool from shard-sampled chunks and to
         hand a parent-built pool to worker processes without resampling.
         """
-        sampler = _WorldSampler(graph)
+        compiled = compile_graph(graph)
         worlds = [tuple(labelling) for labelling in labels]
         if not worlds:
             raise ConfigurationError("a world pool needs at least one world")
-        expected = len(sampler.vertices)
+        expected = compiled.num_vertices
         for position, labelling in enumerate(worlds):
             if len(labelling) != expected:
                 raise ConfigurationError(
                     f"world {position} labels {len(labelling)} vertices, "
                     f"expected {expected} (the pooled graph's vertex count)"
                 )
-        return cls._from_state(sampler, worlds, seed)
+        return cls._from_state(compiled, worlds, seed)
 
     @classmethod
     def _from_state(
         cls,
-        sampler: _WorldSampler,
+        compiled: CompiledGraph,
         worlds: List[Tuple[int, ...]],
         seed: Optional[int],
     ) -> "WorldPool":
         pool = cls.__new__(cls)
-        pool._seed = seed
-        pool._vertices = sampler.vertices
-        pool._index = sampler.index
-        pool._worlds = worlds
+        pool._adopt(compiled, worlds, seed)
         return pool
 
     @property
@@ -327,9 +309,17 @@ class WorldPool:
 
         Exposed so the parallel executor can ship a built pool to worker
         processes (:meth:`from_labels` on the other side) instead of
-        resampling it per worker.
+        resampling it per worker.  Rows are reassembled from the
+        column-major storage on access.
         """
-        return self._worlds
+        if not self._columns:
+            return [()] * self._num_worlds
+        return list(zip(*self._columns))
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The compiled form of the pooled graph."""
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Introspection
@@ -337,7 +327,7 @@ class WorldPool:
     @property
     def num_worlds(self) -> int:
         """Number of sampled worlds in the pool."""
-        return len(self._worlds)
+        return self._num_worlds
 
     @property
     def num_vertices(self) -> int:
@@ -366,6 +356,21 @@ class WorldPool:
                 ) from None
         return positions
 
+    def _connected_per_world(self, positions: Sequence[int]) -> Iterator[bool]:
+        """Lazily yield, per world, whether all ``positions`` share a label.
+
+        The chain of ``map(eq, ...)`` / ``map(and_, ...)`` stages runs at
+        C speed over the label columns; one world's booleans are produced
+        per step, so early-exiting consumers pay only for the prefix they
+        examine.
+        """
+        columns = self._columns
+        base = columns[positions[0]]
+        connected = map(eq, base, columns[positions[1]])
+        for position in positions[2:]:
+            connected = map(and_, connected, map(eq, base, columns[position]))
+        return connected
+
     # ------------------------------------------------------------------
     # Connectivity questions
     # ------------------------------------------------------------------
@@ -376,13 +381,7 @@ class WorldPool:
             raise TerminalError("the terminal set must not be empty")
         if len(positions) == 1:
             return 1.0
-        first, rest = positions[0], positions[1:]
-        positive = 0
-        for labels in self._worlds:
-            root = labels[first]
-            if all(labels[i] == root for i in rest):
-                positive += 1
-        return positive / len(self._worlds)
+        return sum(self._connected_per_world(positions)) / self._num_worlds
 
     def threshold_scan(
         self, terminals: Sequence[Vertex], threshold: float
@@ -399,19 +398,36 @@ class WorldPool:
         positions = self._indices(terminals, "terminal")
         if not positions:
             raise TerminalError("the terminal set must not be empty")
-        total = len(self._worlds)
+        total = self._num_worlds
         if len(positions) == 1:
             return ThresholdScan(True, total, total, False)
-        first, rest = positions[0], positions[1:]
+        # Consume the C-speed connectivity stream in blocks.  Both exit
+        # conditions are monotone in the number of examined worlds (the
+        # positive count only grows; the optimistic bound only shrinks), so
+        # a decision falls inside a block iff it holds at the block's end —
+        # only then is the block replayed world by world to recover the
+        # exact ``(positives, examined)`` the serial scan would report.
+        connected_stream = self._connected_per_world(positions)
         positives = 0
-        for examined, labels in enumerate(self._worlds, start=1):
-            root = labels[first]
-            if all(labels[i] == root for i in rest):
-                positives += 1
-            if positives / total >= threshold:
-                return ThresholdScan(True, positives, examined, examined < total)
-            if (positives + (total - examined)) / total < threshold:
-                return ThresholdScan(False, positives, examined, examined < total)
+        examined = 0
+        while examined < total:
+            block = list(islice(connected_stream, 256))
+            end_positives = positives + sum(block)
+            end_examined = examined + len(block)
+            if (
+                end_positives / total >= threshold
+                or (end_positives + (total - end_examined)) / total < threshold
+            ):
+                for connected in block:
+                    examined += 1
+                    if connected:
+                        positives += 1
+                    if positives / total >= threshold:
+                        return ThresholdScan(True, positives, examined, examined < total)
+                    if (positives + (total - examined)) / total < threshold:
+                        return ThresholdScan(False, positives, examined, examined < total)
+            positives = end_positives
+            examined = end_examined
         return ThresholdScan(positives / total >= threshold, positives, total, False)
 
     def reachability_frequencies(
@@ -427,18 +443,21 @@ class WorldPool:
         positions = self._indices(sources, "source")
         if not positions:
             raise TerminalError("the source set must not be empty")
-        first, rest = positions[0], positions[1:]
-        counts = [0] * len(self._vertices)
-        for labels in self._worlds:
-            root = labels[first]
-            if rest and not all(labels[i] == root for i in rest):
-                continue
-            for position, label in enumerate(labels):
-                if label == root:
-                    counts[position] += 1
-        total = len(self._worlds)
+        columns = self._columns
+        base = columns[positions[0]]
+        if len(positions) > 1:
+            # Worlds whose sources are not mutually connected contribute to
+            # no vertex: mask their reference label with a sentinel no
+            # vertex label can equal (labels are vertex indices, so >= 0).
+            reference = tuple(
+                root if connected else -1
+                for root, connected in zip(base, self._connected_per_world(positions))
+            )
+        else:
+            reference = base
+        total = self._num_worlds
         return {
-            vertex: counts[position] / total
+            vertex: sum(map(eq, columns[position], reference)) / total
             for position, vertex in enumerate(self._vertices)
         }
 
@@ -448,5 +467,5 @@ class WorldPool:
             self._indices((a,), "vertex")
             return 1.0
         ia, ib = self._indices((a, b), "vertex")
-        connected = sum(1 for labels in self._worlds if labels[ia] == labels[ib])
-        return connected / len(self._worlds)
+        connected = sum(map(eq, self._columns[ia], self._columns[ib]))
+        return connected / self._num_worlds

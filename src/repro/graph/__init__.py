@@ -7,6 +7,12 @@ model, possible-world sampling, deterministic connectivity, bridges and
 assignment models, and edge-list I/O.
 """
 
+from repro.graph.compiled import (
+    CompiledGraph,
+    IntUnionFind,
+    compile_graph,
+    compiled_fingerprint,
+)
 from repro.graph.components import (
     GraphDecomposition,
     decompose_graph,
@@ -27,10 +33,14 @@ from repro.graph.possible_world import (
 from repro.graph.uncertain_graph import Edge, UncertainGraph
 
 __all__ = [
+    "CompiledGraph",
     "Edge",
     "GraphDecomposition",
+    "IntUnionFind",
     "PossibleWorld",
     "UncertainGraph",
+    "compile_graph",
+    "compiled_fingerprint",
     "connected_components",
     "decompose_graph",
     "find_articulation_points",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import FrozenSet, Hashable, Iterable, Iterator, Sequence, Tuple
+from typing import Callable, FrozenSet, Hashable, Iterable, Iterator, Sequence, Tuple, Union
 
 from repro.graph.connectivity import terminals_connected
 from repro.graph.uncertain_graph import UncertainGraph
@@ -28,6 +28,15 @@ __all__ = [
 ]
 
 Vertex = Hashable
+
+#: What the ``existing_edges`` of a world may be passed as: an iterable of
+#: edge ids, a pre-built (frozen)set of them, or an ``int`` bitmask whose
+#: bit ``i`` marks **edge id** ``i`` as existing.  Note the compiled
+#: kernel's masks (:class:`repro.graph.compiled.CompiledGraph`) are indexed
+#: by edge *position*, which equals the edge id only for graphs whose ids
+#: are the default contiguous insertion ids; translate through
+#: ``CompiledGraph.edge_ids_in_mask`` otherwise.
+WorldEdges = Union[int, FrozenSet[int], Iterable[int]]
 
 
 @dataclass(frozen=True)
@@ -48,47 +57,74 @@ class PossibleWorld:
         return terminals_connected(graph, terminals, edge_ids=self.existing_edges)
 
 
-def world_probability(graph: UncertainGraph, existing_edges: Iterable[int]) -> float:
-    """Return ``Pr[Gp]`` for the world whose existing edges are given."""
-    existing = set(existing_edges)
-    probability = 1.0
+def _membership(existing_edges: WorldEdges) -> Callable[[int], object]:
+    """An O(1) edge-id membership test over any accepted world form.
+
+    Pre-built sets and frozensets are used as-is (no copy per call — the
+    fix for the old per-call ``set(existing_edges)`` rebuild), bitmasks are
+    tested bit-wise, and anything else is materialized once.
+    """
+    if isinstance(existing_edges, int):
+        mask = existing_edges
+        return lambda edge_id: (mask >> edge_id) & 1
+    if not isinstance(existing_edges, (set, frozenset)):
+        existing_edges = frozenset(existing_edges)
+    return existing_edges.__contains__
+
+
+def _world_factors(graph: UncertainGraph, existing_edges: WorldEdges) -> Iterator[float]:
+    """Yield each edge's probability factor for the given world, in edge order.
+
+    The single implementation behind :func:`world_probability` and
+    :func:`world_log_probability`: ``p(e)`` for existing edges, ``1 - p(e)``
+    for missing ones.
+    """
+    contains = _membership(existing_edges)
     for edge in graph.edges():
-        if edge.id in existing:
-            probability *= edge.probability
-        else:
-            probability *= 1.0 - edge.probability
+        yield edge.probability if contains(edge.id) else 1.0 - edge.probability
+
+
+def world_probability(graph: UncertainGraph, existing_edges: WorldEdges) -> float:
+    """Return ``Pr[Gp]`` for the world whose existing edges are given.
+
+    ``existing_edges`` may be an iterable of edge ids, a precomputed
+    (frozen)set, or an ``int`` bitmask over edge ids.
+    """
+    probability = 1.0
+    for factor in _world_factors(graph, existing_edges):
+        probability *= factor
     return probability
 
 
-def world_log_probability(graph: UncertainGraph, existing_edges: Iterable[int]) -> float:
+def world_log_probability(graph: UncertainGraph, existing_edges: WorldEdges) -> float:
     """Return ``log Pr[Gp]``; ``-inf`` if the world has probability zero.
 
     Log-space is used by the Horvitz–Thompson baseline on large graphs,
-    where individual world probabilities underflow 64-bit floats.
+    where individual world probabilities underflow 64-bit floats.  Accepts
+    the same world forms as :func:`world_probability`.
     """
-    existing = set(existing_edges)
     log_probability = 0.0
-    for edge in graph.edges():
-        p = edge.probability if edge.id in existing else 1.0 - edge.probability
-        if p <= 0.0:
+    for factor in _world_factors(graph, existing_edges):
+        if factor <= 0.0:
             return float("-inf")
-        log_probability += math.log(p)
+        log_probability += math.log(factor)
     return log_probability
 
 
 def world_probability_exact(
-    graph: UncertainGraph, existing_edges: Iterable[int]
+    graph: UncertainGraph, existing_edges: WorldEdges
 ) -> Fraction:
     """Return ``Pr[Gp]`` as an exact :class:`fractions.Fraction`.
 
     Used by the brute-force oracle so that ground-truth reliabilities in the
-    test suite are bit-exact.
+    test suite are bit-exact.  Accepts the same world forms as
+    :func:`world_probability`.
     """
-    existing = set(existing_edges)
+    contains = _membership(existing_edges)
     probability = Fraction(1)
     for edge in graph.edges():
         p = Fraction(edge.probability)
-        probability *= p if edge.id in existing else (Fraction(1) - p)
+        probability *= p if contains(edge.id) else (Fraction(1) - p)
     return probability
 
 
@@ -122,8 +158,12 @@ def enumerate_possible_worlds(
             f"refusing to enumerate 2^{len(edge_ids)} possible worlds; "
             f"raise max_edges explicitly if you really want this"
         )
-    probabilities = {edge.id: edge.probability for edge in graph.edges()}
-    exact = {edge.id: Fraction(edge.probability) for edge in graph.edges()}
+    # Hoist the per-edge factors out of the 2^m loop: reconstructing a
+    # Fraction from a float per edge per world would dominate the oracle.
+    factors = [
+        (edge.id, edge.probability, Fraction(edge.probability))
+        for edge in graph.edges()
+    ]
     total = 1 << len(edge_ids)
     for mask in range(total):
         existing = frozenset(
@@ -131,11 +171,11 @@ def enumerate_possible_worlds(
         )
         probability = 1.0
         exact_probability = Fraction(1)
-        for edge_id in edge_ids:
+        for edge_id, p, exact in factors:
             if edge_id in existing:
-                probability *= probabilities[edge_id]
-                exact_probability *= exact[edge_id]
+                probability *= p
+                exact_probability *= exact
             else:
-                probability *= 1.0 - probabilities[edge_id]
-                exact_probability *= Fraction(1) - exact[edge_id]
+                probability *= 1.0 - p
+                exact_probability *= Fraction(1) - exact
         yield PossibleWorld(existing, probability), exact_probability

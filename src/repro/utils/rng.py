@@ -9,6 +9,7 @@ generator across several components.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
@@ -44,6 +45,15 @@ def spawn_rng(rng: random.Random, label: str = "") -> random.Random:
     not consume randomness from each other's streams (for example terminal
     selection versus world sampling).  The ``label`` participates in the
     derived seed so distinct labels give distinct streams.
+
+    The label is mixed in through a stable digest, **not** ``hash()``:
+    string hashing is randomized per process (``PYTHONHASHSEED``), and the
+    old ``hash(label)`` mixing silently made every spawned stream — and
+    with it every preprocessed S²BDD estimate — irreproducible across
+    processes, despite a fixed seed.  Cross-process determinism is what
+    the parallel executor's parity checksums and the service's cache-key
+    contract ("an answer is a pure function of the cache key") rely on.
     """
-    seed = rng.getrandbits(64) ^ (hash(label) & 0xFFFFFFFFFFFFFFFF)
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    seed = rng.getrandbits(64) ^ int.from_bytes(digest[:8], "big")
     return random.Random(seed)

@@ -6,9 +6,15 @@ S2BDD, sampling completions of intermediate graphs, and the preprocessing
 phases all reduce to merging sets of vertices and asking whether two
 vertices share a representative.
 
-The implementation uses union by size and path compression, giving the
-usual near-constant amortised cost per operation.  Elements may be any
-hashable objects; they are registered lazily on first use.
+The implementation uses union by size and iterative path halving, giving
+the usual near-constant amortised cost per operation in a single pass per
+find.  Elements may be any hashable objects; they are registered lazily on
+first use.
+
+For hot loops that can intern their elements to ``0..n-1`` up front, the
+flat-array :class:`repro.graph.compiled.IntUnionFind` (which adds an O(1)
+``reset()`` for reuse across sampled worlds) is the faster choice; this
+class remains the general structure for hashable-element callers.
 """
 
 from __future__ import annotations
@@ -72,20 +78,19 @@ class UnionFind:
         """Return the canonical representative of ``element``'s set.
 
         Unknown elements are registered as singletons first, so ``find``
-        never raises for hashable input.
+        never raises for hashable input.  Uses iterative path halving —
+        every visited element is pointed at its grandparent on the way up —
+        which compresses in the same single pass that locates the root
+        (the old implementation walked the path twice).
         """
         parent = self._parent
         if element not in parent:
             self.add(element)
             return element
-        # Find the root.
-        root = element
-        while parent[root] != root:
-            root = parent[root]
-        # Path compression.
-        while parent[element] != root:
-            parent[element], element = root, parent[element]
-        return root
+        while parent[element] != element:
+            parent[element] = parent[parent[element]]
+            element = parent[element]
+        return element
 
     def union(self, a: Hashable, b: Hashable) -> bool:
         """Merge the sets containing ``a`` and ``b``.

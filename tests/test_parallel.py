@@ -450,3 +450,65 @@ class TestPickling:
         assert "elapsed_seconds" not in stripped["estimate"]
         kept = set(result.to_dict()["estimate"]) - set(stripped["estimate"])
         assert kept == TIMING_FIELDS
+
+
+class TestCompiledPathChecksums:
+    """Serial, parallel, and cross-process results all checksum identically.
+
+    The ``sampling`` constant was recorded with ``results_checksum`` on the
+    pre-kernel (dict-based) implementation for a fixed six-kind karate
+    workload, so matching it proves the compiled kernel is bit-identical to
+    the old path at any worker count.  The ``s2bdd`` constant pins the
+    stream *after* the ``spawn_rng`` determinism fix (the pre-kernel value
+    mixed ``hash(label)`` into subproblem seeds and therefore changed with
+    every ``PYTHONHASHSEED`` — there was no process-stable value to
+    preserve); it must now reproduce in every process, forever.
+    """
+
+    GOLDEN = {
+        "sampling": "67cf432d7c2600024f07237c73167ac773ab5fca83dfcc5bcffdb464641c84ae",
+        "s2bdd": "51b156d87b287de27f6dd47981bdb7410fb3422777e1e693b5bccbf27f51ce98",
+    }
+
+    @staticmethod
+    def _workload():
+        from repro.datasets import load_dataset
+        from repro.experiments.workloads import generate_searches, queries_from_searches
+
+        karate = load_dataset("karate")
+        searches = generate_searches(karate, "karate", 3, 3, seed=2019)
+        kinds = ("k-terminal", "threshold", "search", "top-k", "clustering", "subgraph")
+        return karate, [
+            query
+            for kind in kinds
+            for query in queries_from_searches(searches, kind, threshold=0.3)
+        ]
+
+    @pytest.mark.parametrize("backend", ["sampling", "s2bdd"])
+    def test_six_kind_workload_checksums_match_pre_kernel(self, backend):
+        graph, queries = self._workload()
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend=backend, samples=300, rng=7)
+        ).prepare(graph)
+        serial = engine.query_many(queries)
+        assert results_checksum(serial) == self.GOLDEN[backend]
+
+    def test_parallel_run_matches_pre_kernel_checksum(self):
+        graph, queries = self._workload()
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend="sampling", samples=300, rng=7)
+        ).prepare(graph)
+        parallel = engine.query_many(queries, workers=2)
+        assert results_checksum(parallel) == self.GOLDEN["sampling"]
+
+    def test_unprepared_engine_batch_stats_equal_serial(self):
+        # Regression: with no prepare() before the batch, the parent's
+        # stand-in prepare (fresh_decomposition path) must not leave an
+        # extra compiled-cache hit behind vs the serial run.
+        queries = [KTerminalQuery(terminals=(0, v)) for v in (3, 5, 7)]
+        graph = small_graph()
+        serial_engine = ReliabilityEngine(EstimatorConfig(samples=60, rng=5))
+        serial_engine.query_many(queries, graph=graph)
+        engine = ReliabilityEngine(EstimatorConfig(samples=60, rng=5))
+        engine.query_many(queries, graph=small_graph(), workers=2)
+        assert engine.stats == serial_engine.stats

@@ -207,3 +207,43 @@ class TestCrossQueryConsistency:
             assert clustering.connection_probability[vertex] == pool.pair_connectivity(
                 vertex, center
             )
+
+
+class TestCompiledPathParity:
+    """The compiled kernel preserves every fixed-seed pool contract.
+
+    The checksum constants were recorded on the pre-kernel (dict-based)
+    implementation immediately before ``repro.graph.compiled`` landed;
+    matching them proves the kernel's pools are bit-identical.
+    """
+
+    #: SHA-256 over the JSON labels of ``WorldPool(karate, samples=500, rng=21)``.
+    KARATE_LIVE_POOL_LABELS = (
+        "1819814e7542fca71820c8b5e3a1cc4d05d5f0dfccf0d6b58e05dbb75ffe625b"
+    )
+
+    def test_live_rng_pool_labels_bit_identical_to_pre_kernel(self):
+        import hashlib
+        import json
+
+        from repro.datasets import load_dataset
+
+        pool = WorldPool(load_dataset("karate"), samples=500, rng=21)
+        blob = json.dumps(pool.labels, separators=(",", ":")).encode()
+        assert hashlib.sha256(blob).hexdigest() == self.KARATE_LIVE_POOL_LABELS
+
+    def test_pool_exposes_its_compiled_graph(self, graph):
+        from repro.graph.compiled import compile_graph
+
+        pool = WorldPool(graph, samples=20, rng=0)
+        assert pool.compiled is compile_graph(graph)
+        assert pool.compiled.num_vertices == pool.num_vertices
+
+    def test_empty_rest_and_reference_paths_agree(self, graph):
+        # Single- and multi-source reachability take different scan paths
+        # (plain column vs sentinel-masked reference); a source set whose
+        # extra sources are always connected must agree with the single
+        # source answer.
+        certain = UncertainGraph.from_edge_list([(0, 1, 1.0), (1, 2, 0.5)])
+        pool = WorldPool(certain, samples=64, rng=3)
+        assert pool.reachability_frequencies((0, 1)) == pool.reachability_frequencies((0,))
