@@ -1,0 +1,62 @@
+"""Scale-out serving: warm snapshots fanned out to shared-nothing replicas.
+
+The single-process service (:mod:`repro.service`) tops out at one CPU's
+throughput.  This package scales it horizontally without giving up the
+determinism contract — every answer is still a pure function of ``(graph
+fingerprint, query canonical key, config fingerprint)``, whichever
+replica computes it:
+
+* :mod:`repro.cluster.supervisor` — :class:`ReplicaSupervisor`: N
+  ``repro.service`` processes warm-started from one prepared-state
+  snapshot (:mod:`repro.service.snapshot`), monitored and respawned with
+  capped backoff.  Shared-nothing: replicas share only the immutable
+  snapshot and the append-only result store,
+* :mod:`repro.cluster.ring` — :class:`HashRing`: consistent hashing with
+  virtual nodes over stable replica identities, so respawns never move
+  keys,
+* :mod:`repro.cluster.router` — :class:`Router`: a front-end speaking
+  the service's exact wire format, forwarding each query to the replica
+  owning its key (graph fingerprint + query canonical key), failing over
+  when replicas die, and aggregating ``/stats`` / ``/healthz``,
+* :mod:`repro.cluster.client` — :class:`ClusterClient`: a
+  :class:`~repro.service.client.ServiceClient` with 429
+  retry-with-backoff on by default,
+* the shared tiers re-exported from :mod:`repro.service`:
+  :class:`~repro.service.store.SharedResultStore` (persistent sqlite
+  result tier under each replica's memory cache) and the snapshot
+  save/load pair.
+
+Run a cluster from the command line (or the ``repro-cluster`` script)::
+
+    python -m repro.cluster --replicas 2 --snapshot-dir snap/ \
+        --graphs karate,tokyo
+
+which builds the snapshot on first use, launches router + replicas, and
+prints one parseable banner line.  Point any service client at the
+router's address — the wire format is identical.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.ring import HashRing
+from repro.cluster.router import Router, RouterStats
+from repro.cluster.supervisor import ReplicaHandle, ReplicaSupervisor
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    load_catalog_snapshot,
+    save_catalog_snapshot,
+)
+from repro.service.store import SharedResultStore, StoreStats
+
+__all__ = [
+    "ClusterClient",
+    "HashRing",
+    "ReplicaHandle",
+    "ReplicaSupervisor",
+    "Router",
+    "RouterStats",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SharedResultStore",
+    "StoreStats",
+    "load_catalog_snapshot",
+    "save_catalog_snapshot",
+]

@@ -1,0 +1,54 @@
+"""The cluster client: a :class:`ServiceClient` with retries turned on.
+
+The router speaks the service's exact wire format, so the cluster client
+*is* a :class:`~repro.service.client.ServiceClient` — same endpoints,
+same typed responses — differing only in defaults: bounded 429
+retry-with-backoff is enabled out of the box.  Against a single
+overloaded replica, retrying mostly amplifies load; against a router
+whose replicas drain queues in parallel and whose supervisor respawns
+crashed ones, a short honored ``Retry-After`` wait is usually all it
+takes for the request to land.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.service.client import ServiceClient
+
+__all__ = ["ClusterClient"]
+
+#: Default retry budget of a cluster client (a single service client
+#: defaults to 0 — fail fast — for the single-replica reasons above).
+DEFAULT_MAX_RETRIES = 4
+
+
+class ClusterClient(ServiceClient):
+    """Blocking client of one cluster router endpoint.
+
+    Identical to :class:`~repro.service.client.ServiceClient` except that
+    ``max_retries`` defaults to :data:`DEFAULT_MAX_RETRIES`; responses
+    additionally carry the serving replica in ``raw["served_by"]``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8360,
+        *,
+        timeout: float = 300.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(
+            host,
+            port,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            max_backoff=max_backoff,
+            sleep=sleep,
+        )

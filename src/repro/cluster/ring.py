@@ -1,0 +1,137 @@
+"""A consistent-hash ring mapping routing keys onto replicas.
+
+The router's placement problem: spread queries over N replicas so that
+(a) the same key always lands on the same replica — each replica's
+in-memory :class:`~repro.service.cache.ResultCache` and engine world
+pools then serve repeats of *its* keys, instead of every replica slowly
+warming a copy of everything — and (b) replica churn moves as few keys as
+possible, so a restart does not cold-start the whole cluster's cache
+affinity.  Consistent hashing with virtual nodes is the standard answer;
+this is the textbook construction on :func:`hashlib.sha256` and
+:mod:`bisect`, no dependencies.
+
+Members are *stable identities* (the supervisor's ``replica-0`` ...
+``replica-N-1`` slot names), not addresses: a respawned replica gets a
+new port but keeps its slot, so the ring — and every key's placement —
+is unchanged across crashes.
+
+Determinism matters here too: the ring's placement is a pure function of
+the member set and the key (seeded sha256, sorted tie-handling), so two
+routers over the same replicas route identically — and a test can assert
+exactly which replica owns a key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ClusterError
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per member.  At 64 points per member the largest/smallest
+#: member-load ratio over random keys stays within ~25% for small N —
+#: plenty for a handful of replicas, cheap to build and to rebuild.
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """A member's (or key's) position on the ring: 64 bits of sha256."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent placement of string keys onto string members.
+
+    Parameters
+    ----------
+    members:
+        Initial member identities (order-irrelevant; duplicates rejected).
+    vnodes:
+        Virtual nodes per member — higher is smoother, linearly more
+        memory and build time.
+    """
+
+    def __init__(
+        self, members: Sequence[str] = (), *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes <= 0:
+            raise ClusterError(f"vnodes must be positive, got {vnodes!r}")
+        self._vnodes = vnodes
+        self._members: Dict[str, List[int]] = {}
+        self._points: List[Tuple[int, str]] = []
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        """Add a member; its keys move *from* existing members, no others."""
+        if not member:
+            raise ClusterError("ring members need non-empty identities")
+        if member in self._members:
+            raise ClusterError(f"ring member {member!r} is already present")
+        points = [
+            _point(f"{member}#{replica_index}")
+            for replica_index in range(self._vnodes)
+        ]
+        self._members[member] = points
+        for point in points:
+            # Ties between distinct members at one point are broken by the
+            # member name so insertion order cannot influence placement.
+            bisect.insort(self._points, (point, member))
+
+    def remove(self, member: str) -> None:
+        """Remove a member; only *its* keys move (to their ring successors)."""
+        points = self._members.pop(member, None)
+        if points is None:
+            raise ClusterError(f"ring member {member!r} is not present")
+        remove = {(point, member) for point in points}
+        self._points = [entry for entry in self._points if entry not in remove]
+
+    def members(self) -> List[str]:
+        """The member identities, sorted."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The member owning ``key`` (its first clockwise virtual node)."""
+        if not self._points:
+            raise ClusterError("the ring has no members to place keys on")
+        index = bisect.bisect_right(self._points, (_point(key), "￿"))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """The first ``count`` *distinct* members clockwise from ``key``.
+
+        This is the failover order: ``preference(key)[0]`` is the owner,
+        and when it is down the router walks the rest — every router walks
+        the same list, so a degraded cluster still routes coherently.
+        """
+        if not self._points:
+            raise ClusterError("the ring has no members to place keys on")
+        if count is None:
+            count = len(self._members)
+        sequence: List[str] = []
+        start = bisect.bisect_right(self._points, (_point(key), "￿"))
+        for offset in range(len(self._points)):
+            member = self._points[(start + offset) % len(self._points)][1]
+            if member not in sequence:
+                sequence.append(member)
+                if len(sequence) >= count:
+                    break
+        return sequence

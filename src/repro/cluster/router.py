@@ -1,0 +1,605 @@
+"""The cluster front-end: one address, consistent routing, failover.
+
+The :class:`Router` speaks exactly the service's JSON/HTTP wire format —
+a :class:`~repro.service.client.ServiceClient` pointed at the router
+cannot tell it from a single replica — and forwards each query to the
+replica that owns its routing key on the consistent-hash ring:
+
+    ``graph_fingerprint | query.canonical_key()``
+
+The graph fingerprint leads (a replica accumulates affinity for the
+graphs it serves), and the query key refines it so a workload on *one*
+graph — the common case — still spreads over every replica instead of
+saturating a single owner.  Placement is per-*key*, which is exactly the
+unit of the replicas' result caches: repeats of a query hit the same
+replica's warm memory cache, while distinct queries fan out.
+
+Failure handling is two-layer.  The router walks the ring's preference
+list when a forward fails (the answer is deterministic, so *any* replica
+can serve any key — affinity is an optimization, never a correctness
+constraint), counting a ``failovers``; and it reports the replica to the
+supervisor, whose monitor respawns it with backoff.  ``/stats`` and
+``/healthz`` aggregate over every live replica, adding the router's own
+counters and the supervisor's restart counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.queries import query_from_dict
+from repro.exceptions import ClusterError
+from repro.cluster.ring import HashRing
+from repro.cluster.supervisor import ReplicaSupervisor
+
+__all__ = ["Router", "RouterStats"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+#: Per-connection read timeout (seconds) on the client side of the router.
+_IO_TIMEOUT = 30.0
+
+#: Largest request body the router will buffer (mirrors the service).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class RouterStats:
+    """Forwarding counters of one :class:`Router`."""
+
+    requests: int = 0
+    forwarded: int = 0
+    failovers: int = 0
+    errors: int = 0
+    no_replica: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class Router:
+    """Route service requests onto a supervised replica pool.
+
+    Parameters
+    ----------
+    supervisor:
+        The (started) :class:`ReplicaSupervisor` owning the replicas.
+        The ring is built over its slot identities, so respawns (new
+        ports) never move keys.
+    host / port:
+        The router's own bind address (``port=0`` for ephemeral).
+    route_by:
+        ``"query"`` (default) keys the ring by graph fingerprint *and*
+        query canonical key; ``"graph"`` by fingerprint alone, pinning
+        each graph wholly to one replica (useful when per-graph engine
+        state dwarfs the query mix).
+    forward_timeout:
+        Seconds one forwarded request may take end to end.
+    """
+
+    def __init__(
+        self,
+        supervisor: ReplicaSupervisor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        route_by: str = "query",
+        forward_timeout: float = 300.0,
+    ) -> None:
+        if route_by not in ("query", "graph"):
+            raise ClusterError(
+                f"route_by must be 'query' or 'graph', got {route_by!r}"
+            )
+        self._supervisor = supervisor
+        self._host = host
+        self._requested_port = port
+        self._route_by = route_by
+        self._forward_timeout = forward_timeout
+        self._ring = HashRing(supervisor.keys())
+        self._stats = RouterStats()
+        self._stats_lock = threading.Lock()
+        self._fingerprints: Dict[str, str] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ServiceServer)
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (available once the router has started)."""
+        if self._port is None:
+            raise ClusterError("the router has not been started yet")
+        return self._port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the running router."""
+        return f"{self._host}:{self.port}"
+
+    def stats(self) -> RouterStats:
+        """An independent snapshot of the router's forwarding counters."""
+        with self._stats_lock:
+            return RouterStats(**asdict(self._stats))
+
+    async def start(self) -> "Router":
+        """Bind and start accepting connections on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def start_background(self) -> "Router":
+        """Run the router on a daemon thread; returns once it is bound."""
+        ready = threading.Event()
+        startup_error: Dict[str, BaseException] = {}
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as error:
+                startup_error["error"] = error
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-cluster-router", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if "error" in startup_error:
+            raise startup_error["error"]
+        return self
+
+    def close(self) -> None:
+        """Stop accepting and stop the loop thread (replicas keep running)."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+
+            def _shutdown() -> None:
+                server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def routing_key(self, graph: str, query_payload: Any) -> str:
+        """The ring key of one query (public so tests can predict owners)."""
+        fingerprint = self._fingerprints.get(graph, graph)
+        if self._route_by == "graph":
+            return fingerprint
+        try:
+            canonical = query_from_dict(query_payload).canonical_key()
+        except Exception:
+            # Malformed queries still route (the replica will answer 400
+            # with the real error); any stable key works.
+            canonical = json.dumps(query_payload, sort_keys=True, default=repr)
+        return f"{fingerprint}|{canonical}"
+
+    async def _refresh_fingerprints(self) -> None:
+        """Learn ``{graph name: content fingerprint}`` from a live replica.
+
+        Best-effort: until it succeeds, names themselves serve as ring
+        keys — still deterministic, merely not content-addressed.
+        """
+        for key, endpoint in self._supervisor.live_endpoints().items():
+            try:
+                status, payload = await self._http_request(
+                    endpoint, "GET", "/graphs"
+                )
+            except (OSError, asyncio.TimeoutError):
+                continue
+            if status == 200:
+                self._fingerprints = {
+                    entry["name"]: entry["fingerprint"]
+                    for entry in payload.get("graphs", [])
+                }
+                return
+
+    # ------------------------------------------------------------------
+    # Connection handling (single-request connections, like the service)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            parsed = await asyncio.wait_for(self._read_request(reader), _IO_TIMEOUT)
+        except asyncio.TimeoutError:
+            parsed, status, payload = None, 400, {"error": "request read timed out"}
+        except Exception as error:
+            parsed, status, payload = None, 400, {
+                "error": f"malformed request: {error}"
+            }
+        else:
+            if parsed is None:
+                return
+        if parsed is not None:
+            method, path, body = parsed
+            with self._stats_lock:
+                self._stats.requests += 1
+            try:
+                status, payload = await self._route(method, path, body)
+            except Exception as error:
+                with self._stats_lock:
+                    self._stats.errors += 1
+                status, payload = 500, {
+                    "error": str(error),
+                    "error_type": type(error).__name__,
+                }
+        try:
+            blob = json.dumps(payload, default=repr).encode("utf-8")
+            headers = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(blob)}",
+                "Connection: close",
+            ]
+            writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + blob)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            raise ValueError(f"bad request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body of {content_length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return await self._aggregate_healthz()
+        if path == "/stats" and method == "GET":
+            return await self._aggregate_stats()
+        if path == "/graphs" and method == "GET":
+            return await self._forward_any("GET", "/graphs")
+        if path == "/query":
+            if method != "POST":
+                return 405, {"error": "/query expects POST"}
+            return await self._forward_query(body)
+        if path == "/query_batch":
+            if method != "POST":
+                return 405, {"error": "/query_batch expects POST"}
+            return await self._forward_batch(body)
+        return 404, {"error": f"unknown endpoint {path!r}"}
+
+    async def _forward_query(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            graph = payload["graph"]
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+        if not self._fingerprints:
+            await self._refresh_fingerprints()
+        key = self.routing_key(graph, payload.get("query"))
+        return await self._forward_keyed("POST", "/query", body, key)
+
+    async def _forward_batch(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        """Scatter a batch over the ring, gather in submission order.
+
+        Items are partitioned by owning replica and each partition goes
+        out as one ``/query_batch`` sub-request, concurrently; replicas
+        keep their micro-batching advantage for the items they own.  A
+        failed partition degrades to per-item error entries — batch
+        semantics stay per-item, exactly like a single replica's.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            graph = payload["graph"]
+            queries = payload["queries"]
+            if not isinstance(queries, list):
+                raise ValueError("'queries' must be a list")
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+        if not self._fingerprints:
+            await self._refresh_fingerprints()
+
+        partitions: Dict[str, List[int]] = {}
+        for position, query in enumerate(queries):
+            owner_key = self.routing_key(graph, query)
+            try:
+                owner = self._preferred_live(owner_key)[0]
+            except ClusterError:
+                with self._stats_lock:
+                    self._stats.no_replica += 1
+                return 503, {"error": "no live replica to serve the batch"}
+            partitions.setdefault(owner, []).append(position)
+
+        results: List[Optional[Dict[str, Any]]] = [None] * len(queries)
+
+        async def _run_partition(member: str, positions: List[int]) -> None:
+            sub_body = json.dumps(
+                {"graph": graph, "queries": [queries[i] for i in positions]}
+            ).encode("utf-8")
+            # Failover starts from the partition's owner and walks the
+            # same preference order every router would.
+            status, payload = await self._forward_with_failover(
+                "POST", "/query_batch", sub_body, first=member
+            )
+            if status == 200:
+                sub_results = payload.get("results", [])
+                for offset, position in enumerate(positions):
+                    if offset < len(sub_results):
+                        results[position] = sub_results[offset]
+                    else:  # pragma: no cover - defensive
+                        results[position] = {
+                            "error": "replica returned too few results",
+                            "error_type": "ClusterError",
+                        }
+            else:
+                error = {
+                    "error": str(payload.get("error", f"status {status}")),
+                    "error_type": payload.get("error_type", "ClusterError"),
+                }
+                for position in positions:
+                    results[position] = dict(error)
+
+        await asyncio.gather(
+            *(
+                _run_partition(member, positions)
+                for member, positions in partitions.items()
+            )
+        )
+        return 200, {"graph": graph, "results": results}
+
+    # ------------------------------------------------------------------
+    # Forwarding primitives
+    # ------------------------------------------------------------------
+    def _preferred_live(self, key: str) -> List[str]:
+        """The ring's preference list for ``key``, filtered to live replicas."""
+        live = self._supervisor.live_endpoints()
+        order = [member for member in self._ring.preference(key) if member in live]
+        if not order:
+            raise ClusterError("no live replica to serve the request")
+        return order
+
+    async def _forward_keyed(
+        self, method: str, path: str, body: bytes, key: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            first = self._preferred_live(key)[0]
+        except ClusterError as error:
+            with self._stats_lock:
+                self._stats.no_replica += 1
+            return 503, {"error": str(error)}
+        return await self._forward_with_failover(method, path, body, first=first)
+
+    async def _forward_with_failover(
+        self, method: str, path: str, body: bytes, *, first: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Forward to ``first``, then down the live member list on failure.
+
+        Only transport-level failures (connect/read errors, timeouts)
+        fail over — an HTTP error status is the replica's *answer* and is
+        passed through; retrying a 400 elsewhere would just repeat it.
+        """
+        live = self._supervisor.live_endpoints()
+        members = [first] + [key for key in sorted(live) if key != first]
+        last_error: Optional[BaseException] = None
+        for attempt, member in enumerate(members):
+            endpoint = live.get(member)
+            if endpoint is None:
+                continue
+            try:
+                status, payload = await asyncio.wait_for(
+                    self._http_request(endpoint, method, path, body),
+                    self._forward_timeout,
+                )
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+                last_error = error
+                self._supervisor.notify_failure(member)
+                with self._stats_lock:
+                    self._stats.failovers += 1
+                live = self._supervisor.live_endpoints()
+                continue
+            with self._stats_lock:
+                self._stats.forwarded += 1
+            if isinstance(payload, dict):
+                payload.setdefault("served_by", member)
+            return status, payload
+        with self._stats_lock:
+            self._stats.errors += 1
+        return 502, {
+            "error": f"every live replica failed the request: {last_error}",
+            "error_type": "ClusterError",
+        }
+
+    async def _forward_any(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Forward to whichever live replica answers first in slot order."""
+        live = self._supervisor.live_endpoints()
+        if not live:
+            with self._stats_lock:
+                self._stats.no_replica += 1
+            return 503, {"error": "no live replica"}
+        first = sorted(live)[0]
+        return await self._forward_with_failover(method, path, body, first=first)
+
+    async def _http_request(
+        self, endpoint: str, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Any]:
+        """One HTTP exchange with a replica (single-request connection)."""
+        host, _, port = endpoint.rpartition(":")
+        reader, writer = await asyncio.open_connection(host, int(port))
+        try:
+            lines = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {endpoint}",
+                "Connection: close",
+            ]
+            if body:
+                lines += [
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(body)}",
+                ]
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+            await writer.drain()
+
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"bad status line {status_line!r}")
+            status = int(parts[1])
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            raw = await reader.readexactly(content_length) if content_length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            return status, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    async def _aggregate_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        live = self._supervisor.live_endpoints()
+        replicas: Dict[str, Any] = {}
+
+        async def _probe(member: str, endpoint: str) -> None:
+            try:
+                status, payload = await asyncio.wait_for(
+                    self._http_request(endpoint, "GET", "/healthz"), _IO_TIMEOUT
+                )
+                replicas[member] = payload if status == 200 else {
+                    "status": f"error {status}"
+                }
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                replicas[member] = {"status": "unreachable"}
+
+        await asyncio.gather(
+            *(_probe(member, endpoint) for member, endpoint in live.items())
+        )
+        for member in self._supervisor.keys():
+            replicas.setdefault(member, {"status": "down"})
+        healthy = sum(
+            1 for payload in replicas.values() if payload.get("status") == "ok"
+        )
+        status = "ok" if healthy else "down"
+        return (200 if healthy else 503), {
+            "status": status,
+            "replicas": replicas,
+            "healthy": healthy,
+            "expected": len(self._supervisor.keys()),
+        }
+
+    async def _aggregate_stats(self) -> Tuple[int, Dict[str, Any]]:
+        live = self._supervisor.live_endpoints()
+        per_replica: Dict[str, Any] = {}
+
+        async def _collect(member: str, endpoint: str) -> None:
+            try:
+                status, payload = await asyncio.wait_for(
+                    self._http_request(endpoint, "GET", "/stats"), _IO_TIMEOUT
+                )
+                if status == 200:
+                    per_replica[member] = payload
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                pass
+
+        await asyncio.gather(
+            *(_collect(member, endpoint) for member, endpoint in live.items())
+        )
+        totals = {
+            "requests": 0,
+            "cache_hits": 0,
+            "shared_store_hits": 0,
+            "engine_evaluations": 0,
+            "errors": 0,
+        }
+        for payload in per_replica.values():
+            service = payload.get("service", {})
+            for field in totals:
+                totals[field] += int(service.get(field, 0))
+        return 200, {
+            "router": self.stats().to_dict(),
+            "totals": totals,
+            "replicas": per_replica,
+            "restarts": self._supervisor.restart_counts(),
+            "route_by": self._route_by,
+        }

@@ -287,6 +287,32 @@ class ReliabilityEngine:
         """The (cached) compiled kernel form of the active or given graph."""
         return compile_graph(self._require_graph(graph))
 
+    def decomposition(self, graph=None) -> GraphDecomposition:
+        """The cached 2-edge-connected decomposition of the active (or given)
+        graph, preparing it first when needed.
+
+        This is the index the paper precomputes; exposing it lets the
+        snapshot layer persist prepared state instead of recomputing it on
+        every cold start.
+        """
+        graph = self._resolve_graph(graph)
+        return self._cache[id(graph)][1]
+
+    def cached_world_pools(self, graph=None) -> List[WorldPool]:
+        """The world pools currently cached for the active (or given) graph.
+
+        Returned in insertion (build) order; empty when no pooled query ran
+        yet or the graph's fingerprint changed since the pools were built.
+        Live-generator pools are never cached, so every returned pool
+        carries the integer seed it was built from — exactly what the
+        snapshot layer needs to persist and reinstall them.
+        """
+        graph = self._require_graph(graph)
+        entry = self._world_pools.get(id(graph))
+        if entry is None or entry[0] != self._world_fingerprint(graph):
+            return []
+        return list(entry[1].values())
+
     def forget(self, graph) -> None:
         """Drop ``graph`` from the decomposition and world-pool caches."""
         self._cache.pop(id(graph), None)
@@ -417,8 +443,23 @@ class ReliabilityEngine:
             raise ConfigurationError(
                 f"expected {samples} world labellings, got {len(labels)}"
             )
-        pool = WorldPool.from_labels(graph, labels, seed=seed)
-        self._store_pool(self._pool_cache_for(graph), (seed, samples), pool)
+        return self._adopt_pool(graph, WorldPool.from_labels(graph, labels, seed=seed))
+
+    def _adopt_pool(self, graph, pool: WorldPool) -> WorldPool:
+        """Cache a prebuilt pool under its ``(seed, num_worlds)`` key.
+
+        The tail of :meth:`_install_pool`, split out so callers that
+        already hold a :class:`WorldPool` — the snapshot loader adopts
+        column-major pools via :meth:`WorldPool.from_columns` — can skip
+        the row-major ``labels`` round trip.  The same contract applies:
+        the pool must hold exactly the seeded scheme's worlds for its
+        ``(seed, num_worlds)`` pair.
+        """
+        if pool.seed is None:
+            raise ConfigurationError(
+                "only seed-tagged pools can be adopted into the engine cache"
+            )
+        self._store_pool(self._pool_cache_for(graph), (pool.seed, pool.num_worlds), pool)
         return pool
 
     # ------------------------------------------------------------------

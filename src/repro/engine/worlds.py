@@ -225,15 +225,24 @@ class WorldPool:
         worlds: Sequence[Tuple[int, ...]],
         seed: Optional[int],
     ) -> None:
+        # Column-major storage: one tuple of per-world labels per vertex.
+        # Tuples beat array('i') here: their slots share the already-boxed
+        # label ints, so the C-speed scan maps never re-box on access.
+        self._adopt_columns(compiled, list(zip(*worlds)), len(worlds), seed)
+
+    def _adopt_columns(
+        self,
+        compiled: CompiledGraph,
+        columns: List[Tuple[int, ...]],
+        num_worlds: int,
+        seed: Optional[int],
+    ) -> None:
         self._seed = seed
         self._compiled = compiled
         self._vertices = compiled.vertices
         self._index = compiled.vertex_index
-        self._num_worlds = len(worlds)
-        # Column-major storage: one tuple of per-world labels per vertex.
-        # Tuples beat array('i') here: their slots share the already-boxed
-        # label ints, so the C-speed scan maps never re-box on access.
-        self._columns: List[Tuple[int, ...]] = list(zip(*worlds))
+        self._num_worlds = num_worlds
+        self._columns: List[Tuple[int, ...]] = columns
 
     # ------------------------------------------------------------------
     # Alternative constructors (the parallel-stable seeded scheme)
@@ -293,6 +302,44 @@ class WorldPool:
         return cls._from_state(compiled, worlds, seed)
 
     @classmethod
+    def from_columns(
+        cls,
+        graph: "UncertainGraph",
+        columns: Sequence[Sequence[int]],
+        *,
+        samples: int,
+        seed: Optional[int] = None,
+    ) -> "WorldPool":
+        """Wrap precomputed *column-major* labellings in a pool.
+
+        ``columns`` must hold one per-world label column per vertex of
+        ``graph`` in iteration order — the pool's native storage layout
+        (the transpose of what :meth:`from_labels` takes; :attr:`labels`
+        gives the row-major view back).  Because the columns are adopted
+        as-is, this skips the row-to-column transpose ``from_labels``
+        pays, which matters on the snapshot warm-start path
+        (:mod:`repro.service.snapshot`) where the columns arrive straight
+        from disk and the whole point is loading faster than resampling.
+        """
+        check_positive_int(samples, "samples")
+        compiled = compile_graph(graph)
+        adopted = [tuple(column) for column in columns]
+        if len(adopted) != compiled.num_vertices:
+            raise ConfigurationError(
+                f"got label columns for {len(adopted)} vertices, expected "
+                f"{compiled.num_vertices} (the pooled graph's vertex count)"
+            )
+        for position, column in enumerate(adopted):
+            if len(column) != samples:
+                raise ConfigurationError(
+                    f"vertex {position} has labels for {len(column)} "
+                    f"worlds, expected {samples}"
+                )
+        pool = cls.__new__(cls)
+        pool._adopt_columns(compiled, adopted, samples, seed)
+        return pool
+
+    @classmethod
     def _from_state(
         cls,
         compiled: CompiledGraph,
@@ -315,6 +362,17 @@ class WorldPool:
         if not self._columns:
             return [()] * self._num_worlds
         return list(zip(*self._columns))
+
+    @property
+    def columns(self) -> List[Tuple[int, ...]]:
+        """The per-vertex label columns — the pool's native storage.
+
+        One tuple of ``num_worlds`` labels per vertex, in vertex iteration
+        order; the transpose of :attr:`labels`.  The snapshot layer
+        persists this layout verbatim so a warm start can re-adopt it
+        (:meth:`from_columns`) without paying the transpose.
+        """
+        return list(self._columns)
 
     @property
     def compiled(self) -> CompiledGraph:

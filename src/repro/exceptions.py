@@ -20,6 +20,8 @@ __all__ = [
     "BDDLimitExceededError",
     "PreprocessError",
     "DatasetError",
+    "SnapshotError",
+    "ClusterError",
 ]
 
 
@@ -69,3 +71,23 @@ class PreprocessError(ReproError):
 
 class DatasetError(ReproError, ValueError):
     """Raised when a named dataset cannot be built or is unknown."""
+
+
+class SnapshotError(ReproError):
+    """Raised when a prepared-state snapshot cannot be written or loaded.
+
+    Covers format-version mismatches, corrupted or tampered sections
+    (checksum failures), and snapshots whose recomputed state diverges
+    from the recorded probe checksum.  The message always says which
+    snapshot file is at fault and what to do about it (rebuild with
+    ``GraphCatalog.save_snapshot``).
+    """
+
+
+class ClusterError(ReproError):
+    """Raised when the scale-out serving layer cannot do its job.
+
+    Examples: a replica process that never printed its bound address, a
+    router asked to start with zero replicas, or a forward that found no
+    live replica to serve it.
+    """

@@ -21,7 +21,13 @@ prepared graphs, with cross-request reuse the engine alone cannot do.
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   asyncio JSON-over-HTTP front-end (``/query``, ``/query_batch``,
   ``/graphs``, ``/stats``, ``/healthz``, with admission control) and its
-  small blocking client.
+  small blocking client,
+* :mod:`repro.service.snapshot` — versioned on-disk snapshots of a
+  catalog's prepared state (``GraphCatalog.save_snapshot`` /
+  ``load_snapshot``): warm starts bit-identical to fresh ``prepare()``,
+* :mod:`repro.service.store` — :class:`SharedResultStore`: a persistent
+  sqlite tier under the memory cache, shared by replica processes and
+  surviving restarts (see :mod:`repro.cluster`).
 
 Run a server from the command line (or the ``repro-serve`` script)::
 
@@ -53,6 +59,12 @@ from repro.service.client import (
 from repro.service.coalesce import CoalesceStats, SingleFlightBatcher
 from repro.service.core import ReliabilityService, ServiceStats
 from repro.service.server import AdmissionStats, ServiceServer
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    load_catalog_snapshot,
+    save_catalog_snapshot,
+)
+from repro.service.store import SharedResultStore, StoreStats
 
 __all__ = [
     "AdmissionStats",
@@ -62,13 +74,18 @@ __all__ = [
     "GraphCatalog",
     "ReliabilityService",
     "ResultCache",
+    "SNAPSHOT_FORMAT_VERSION",
     "ServiceClient",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceResponse",
     "ServiceServer",
     "ServiceStats",
+    "SharedResultStore",
     "SingleFlightBatcher",
+    "StoreStats",
     "cache_key",
     "graph_fingerprint",
+    "load_catalog_snapshot",
+    "save_catalog_snapshot",
 ]

@@ -6,10 +6,19 @@ Usage::
     python -m repro.service --graphs karate,tokyo --backend sampling \
         --samples 1000 --workers 2
     python -m repro.service --graph-file mygraph=edges.txt --port 0
+    python -m repro.service --snapshot snap/ --shared-store results.sqlite
 
 (Installed as the ``repro-serve`` console script.)  ``--port 0`` binds an
 ephemeral port; the bound address is printed either way, so wrappers (the
-CI smoke job, the benchmark) can parse it from the first stdout line.
+CI smoke job, the benchmark, the cluster supervisor) can parse it from
+the first stdout line.
+
+``--snapshot DIR`` warm-starts from a prepared-state snapshot (see
+:mod:`repro.service.snapshot`) instead of loading and preparing datasets;
+the snapshot carries its own config, so ``--graphs``/``--backend``/
+``--samples``/``--seed`` are rejected alongside it.  ``--shared-store
+PATH`` adds the persistent sqlite result tier under the memory cache —
+the combination is exactly how :mod:`repro.cluster` launches replicas.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
 from repro.service.catalog import GraphCatalog
 from repro.service.core import ReliabilityService
 from repro.service.server import ServiceServer
+from repro.service.store import SharedResultStore
 
 __all__ = ["main"]
 
@@ -56,6 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME=PATH",
         help="register an edge-list file under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="DIR",
+        help=(
+            "warm-start from a prepared-state snapshot directory "
+            "(GraphCatalog.save_snapshot); carries its own config, so "
+            "--graphs/--backend/--samples/--seed cannot be combined with it"
+        ),
+    )
+    parser.add_argument(
+        "--shared-store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sqlite file of the persistent shared result tier under the "
+            "memory cache (default: no shared tier)"
+        ),
     )
     parser.add_argument(
         "--scale", choices=["bench", "paper"], default="bench",
@@ -100,29 +129,57 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Build the catalog, start the server, serve until interrupted."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     try:
-        config = EstimatorConfig(
-            backend=args.backend, samples=args.samples, rng=args.seed
-        )
-        catalog = GraphCatalog(config)
-        for key in [key.strip() for key in args.graphs.split(",") if key.strip()]:
-            catalog.register_dataset(key, scale=args.scale)
-        for spec in args.graph_file:
-            name, _, path = spec.partition("=")
-            if not name or not path:
-                print(f"error: --graph-file expects NAME=PATH, got {spec!r}",
-                      file=sys.stderr)
+        if args.snapshot is not None:
+            overridden = [
+                option
+                for option, changed in [
+                    ("--graphs", args.graphs != parser.get_default("graphs")),
+                    ("--graph-file", bool(args.graph_file)),
+                    ("--backend", args.backend != parser.get_default("backend")),
+                    ("--samples", args.samples != parser.get_default("samples")),
+                    ("--seed", args.seed is not None),
+                ]
+                if changed
+            ]
+            if overridden:
+                print(
+                    "error: --snapshot carries its own graphs and config; "
+                    f"drop {', '.join(overridden)}",
+                    file=sys.stderr,
+                )
                 return 2
-            catalog.register_file(name, path)
+            catalog = GraphCatalog.load_snapshot(args.snapshot)
+        else:
+            config = EstimatorConfig(
+                backend=args.backend, samples=args.samples, rng=args.seed
+            )
+            catalog = GraphCatalog(config)
+            for key in [key.strip() for key in args.graphs.split(",") if key.strip()]:
+                catalog.register_dataset(key, scale=args.scale)
+            for spec in args.graph_file:
+                name, _, path = spec.partition("=")
+                if not name or not path:
+                    print(f"error: --graph-file expects NAME=PATH, got {spec!r}",
+                          file=sys.stderr)
+                    return 2
+                catalog.register_file(name, path)
         cache = (
             ResultCache(max_bytes=args.cache_bytes, ttl=args.cache_ttl)
             if args.cache_bytes > 0
             else None
         )
+        store = (
+            SharedResultStore(args.shared_store)
+            if args.shared_store is not None
+            else None
+        )
         service = ReliabilityService(
             catalog,
             cache=cache,
+            store=store,
             batch_workers=args.workers,
             max_batch=args.max_batch,
         )
@@ -145,6 +202,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"batch workers={args.workers})",
         flush=True,
     )
+    if args.snapshot is not None:
+        print(f"warm-started from snapshot {args.snapshot}", flush=True)
+    if store is not None:
+        print(f"shared result store at {store.path}", flush=True)
 
     stop = threading.Event()
 
@@ -161,6 +222,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         server.close()
         service.close()
+        if store is not None:
+            store.close()
     return 0
 
 

@@ -52,8 +52,12 @@ class CacheStats:
 
     ``hits`` / ``misses`` count lookups; ``evictions`` counts entries
     dropped by the LRU bound, ``expirations`` entries dropped because
-    their TTL lapsed.  ``current_bytes`` / ``entries`` describe the live
-    content; ``max_bytes`` the configured budget.
+    their TTL lapsed — with ``bytes_evicted`` / ``bytes_expired``
+    accumulating the payload bytes those drops released, so cache churn
+    is measurable (a high ``bytes_evicted`` rate under a low hit rate
+    means the byte budget is too small for the working set).
+    ``current_bytes`` / ``entries`` describe the live content;
+    ``max_bytes`` the configured budget.
     """
 
     hits: int = 0
@@ -61,6 +65,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     expirations: int = 0
+    bytes_evicted: int = 0
+    bytes_expired: int = 0
     current_bytes: int = 0
     entries: int = 0
     max_bytes: int = 0
@@ -147,6 +153,7 @@ class ResultCache:
                     del self._entries[key]
                     self._stats.current_bytes -= entry.size
                     self._stats.expirations += 1
+                    self._stats.bytes_expired += entry.size
                     entry = None
             if entry is None:
                 self._stats.misses += 1
@@ -182,6 +189,7 @@ class ResultCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._stats.current_bytes -= evicted.size
                 self._stats.evictions += 1
+                self._stats.bytes_evicted += evicted.size
             self._stats.entries = len(self._entries)
         return True
 

@@ -220,6 +220,53 @@ class GraphCatalog:
                 engine = self._engines.setdefault(key, built)
         return engine
 
+    def adopt_engine(self, name: str, engine: ReliabilityEngine) -> None:
+        """Install a prepared engine as ``name``'s engine for its config.
+
+        The snapshot loader uses this to hand the catalog an engine whose
+        decomposition index and world pools were restored from disk, so
+        the usual lazy ``prepare()`` in :meth:`engine` never runs.  The
+        engine's config must fingerprint-match this catalog's default
+        config — that pair is the cache key every served answer depends
+        on.
+        """
+        fingerprint = engine.config.fingerprint()
+        if fingerprint != self._config.fingerprint():
+            raise ConfigurationError(
+                f"engine config fingerprint {fingerprint!r} does not match "
+                f"the catalog's {self._config.fingerprint()!r}; an adopted "
+                "engine must serve exactly the catalog's default config"
+            )
+        self.entry(name)  # raises for unknown names
+        with self._lock:
+            self._engines[(name, fingerprint)] = engine
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def save_snapshot(self, path: str, *, include_pools: bool = True) -> Dict:
+        """Write this catalog's prepared state to the directory ``path``.
+
+        See :mod:`repro.service.snapshot` for the on-disk format.  Returns
+        the written catalog manifest.
+        """
+        from repro.service.snapshot import save_catalog_snapshot
+
+        return save_catalog_snapshot(self, path, include_pools=include_pools)
+
+    @classmethod
+    def load_snapshot(cls, path: str, *, verify: bool = False) -> "GraphCatalog":
+        """Rebuild a catalog — graphs registered, engines warm — from ``path``.
+
+        With ``verify=True`` the snapshot's probe workload is re-evaluated
+        and checksum-compared before the catalog is returned.  Raises
+        :class:`~repro.exceptions.SnapshotError` on any corruption,
+        version mismatch, or divergence.
+        """
+        from repro.service.snapshot import load_catalog_snapshot
+
+        return load_catalog_snapshot(path, verify=verify)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.engine.queries import Query, QueryResult, result_from_dict
 from repro.exceptions import ReproError
@@ -58,7 +59,25 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The server shed this request (HTTP 429); retry after a backoff."""
+    """The server shed this request (HTTP 429); retry after a backoff.
+
+    Attributes
+    ----------
+    retry_after:
+        The server's ``Retry-After`` hint in seconds, or ``None`` when the
+        header was absent or unparseable.  :class:`ServiceClient` honors
+        it when retries are enabled.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(status, payload)
 
 
 @dataclass
@@ -93,14 +112,44 @@ class ServiceClient:
         The server address (e.g. from ``ServiceServer.port``).
     timeout:
         Per-request socket timeout in seconds.
+    max_retries:
+        How many times a request shed with 429 is retried before the
+        :class:`ServiceOverloadedError` propagates.  ``0`` (the default)
+        keeps the historical fail-fast behavior — retrying is opt-in
+        because it can amplify load on an already saturated server; the
+        cluster client turns it on, where the router's replica pool makes
+        a short wait productive.
+    backoff:
+        Base of the exponential backoff: retry ``i`` waits
+        ``backoff * 2**i`` seconds — unless the server's ``Retry-After``
+        header names a longer wait, which takes precedence (the server
+        knows its queue depth; the client is guessing).
+    max_backoff:
+        Upper bound on any single wait, whatever its source.
+    sleep:
+        Injectable sleep function, for tests.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8350, *, timeout: float = 300.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8350,
+        *,
+        timeout: float = 300.0,
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries!r}")
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -147,6 +196,27 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        """One logical request: a 429 is retried up to ``max_retries`` times.
+
+        Safe to retry unconditionally: every endpoint is idempotent (the
+        service's answers are pure functions of the request), so a shed
+        request repeated is the same request.
+        """
+        for attempt in range(self._max_retries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except ServiceOverloadedError as error:
+                if attempt >= self._max_retries:
+                    raise
+                wait = self._backoff * (2 ** attempt)
+                if error.retry_after is not None:
+                    wait = max(wait, error.retry_after)
+                self._sleep(min(max(wait, 0.0), self._max_backoff))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
@@ -161,12 +231,34 @@ class ServiceClient:
             except ValueError:
                 payload = {"error": raw.decode("utf-8", "replace")}
             if response.status == 429:
-                raise ServiceOverloadedError(response.status, payload)
+                raise ServiceOverloadedError(
+                    response.status,
+                    payload,
+                    retry_after=_parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
+                )
             if response.status != 200:
                 raise ServiceError(response.status, payload)
             return payload
         finally:
             connection.close()
+
+
+def _parse_retry_after(header: Optional[str]) -> Optional[float]:
+    """The ``Retry-After`` header as non-negative seconds, else ``None``.
+
+    Only the delta-seconds form is parsed (it is all the server sends);
+    the HTTP-date form and garbage both fall back to the client's own
+    backoff schedule.
+    """
+    if header is None:
+        return None
+    try:
+        seconds = float(header.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 def _query_dict(query: QueryLike) -> Dict[str, Any]:

@@ -34,6 +34,7 @@ from repro.exceptions import ConfigurationError
 from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import GraphCatalog
 from repro.service.coalesce import SingleFlightBatcher
+from repro.service.store import SharedResultStore
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ReliabilityService", "ServiceStats"]
@@ -57,6 +58,7 @@ class ServiceStats:
 
     requests: int = 0
     cache_hits: int = 0
+    shared_store_hits: int = 0
     engine_evaluations: int = 0
     errors: int = 0
 
@@ -83,6 +85,13 @@ class ReliabilityService:
         batches serially in-process.
     max_batch:
         Largest micro-batch one evaluator call may receive.
+    store:
+        An optional :class:`~repro.service.store.SharedResultStore` — the
+        persistent tier *under* the memory cache.  Lookups fall through
+        memory → store → engine; a store hit is promoted into the memory
+        cache, and every engine evaluation is written through to both
+        tiers.  The service does not close the store (it may be shared);
+        the owner does.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class ReliabilityService:
         catalog: GraphCatalog,
         *,
         cache: Any = _DEFAULT_CACHE,
+        store: Optional[SharedResultStore] = None,
         batch_workers: int = 1,
         max_batch: int = 64,
     ) -> None:
@@ -98,6 +108,7 @@ class ReliabilityService:
         self._cache: Optional[ResultCache] = (
             ResultCache() if cache is _DEFAULT_CACHE else cache
         )
+        self._store = store
         self._batch_workers = batch_workers
         self._config_fingerprint = catalog.config.fingerprint()
         self._stats = ServiceStats()
@@ -118,6 +129,11 @@ class ReliabilityService:
         """The result cache (``None`` when caching is disabled)."""
         return self._cache
 
+    @property
+    def store(self) -> Optional[SharedResultStore]:
+        """The persistent shared tier (``None`` when not configured)."""
+        return self._store
+
     def stats(self) -> Dict[str, Any]:
         """The aggregated ``/stats`` payload: service, cache, coalescer,
         per-graph engine counters (including ``world_pools_evicted``)."""
@@ -126,6 +142,9 @@ class ReliabilityService:
         return {
             "service": service,
             "cache": self._cache.stats().to_dict() if self._cache is not None else None,
+            "shared_store": (
+                self._store.stats().to_dict() if self._store is not None else None
+            ),
             "coalescer": self._batcher.stats().to_dict(),
             "engines": self._catalog.engine_stats(),
             "config_fingerprint": self._config_fingerprint,
@@ -152,18 +171,17 @@ class ReliabilityService:
             self._stats.requests += 1
         try:
             request = self._prepare(graph, query)
-            payload = self._lookup(request.key)
+            payload, tier = self._lookup(request.key)
             if payload is not None:
-                with self._stats_lock:
-                    self._stats.cache_hits += 1
-                return self._respond(payload, cached=True, graph=graph)
+                self._count_hit(tier)
+                return self._respond(payload, tier=tier, graph=graph)
             future = self._batcher.submit(graph, request.key, request.query)
             payload = future.result(timeout=timeout)
         except Exception:
             with self._stats_lock:
                 self._stats.errors += 1
             raise
-        return self._respond(payload, cached=False, graph=graph)
+        return self._respond(payload, tier=None, graph=graph)
 
     def query_batch(
         self,
@@ -195,11 +213,10 @@ class ReliabilityService:
         for position, request in enumerate(requests):
             if request is None:
                 continue
-            payload = self._lookup(request.key)
+            payload, tier = self._lookup(request.key)
             if payload is not None:
-                with self._stats_lock:
-                    self._stats.cache_hits += 1
-                outcomes[position] = self._respond(payload, cached=True, graph=graph)
+                self._count_hit(tier)
+                outcomes[position] = self._respond(payload, tier=tier, graph=graph)
             else:
                 futures[position] = self._batcher.submit(
                     graph, request.key, request.query
@@ -209,7 +226,7 @@ class ReliabilityService:
                 continue
             try:
                 outcomes[position] = self._respond(
-                    future.result(timeout=timeout), cached=False, graph=graph
+                    future.result(timeout=timeout), tier=None, graph=graph
                 )
             except Exception as error:
                 outcomes[position] = _error_payload(error)
@@ -252,14 +269,33 @@ class ReliabilityService:
         )
         return self._Request(query, key)
 
-    def _lookup(self, key: Any) -> Optional[Dict[str, Any]]:
-        if self._cache is None:
-            return None
-        return self._cache.get(key)
+    def _lookup(self, key: Any):
+        """``(payload, tier)`` from memory then the shared store, else ``(None, None)``.
+
+        A shared-store hit is promoted into the memory cache so repeats in
+        this process stay off sqlite.
+        """
+        if self._cache is not None:
+            payload = self._cache.get(key)
+            if payload is not None:
+                return payload, "memory"
+        if self._store is not None:
+            payload = self._store.get(key)
+            if payload is not None:
+                if self._cache is not None:
+                    self._cache.put(key, payload)
+                return payload, "shared"
+        return None, None
+
+    def _count_hit(self, tier: Optional[str]) -> None:
+        with self._stats_lock:
+            self._stats.cache_hits += 1
+            if tier == "shared":
+                self._stats.shared_store_hits += 1
 
     @staticmethod
     def _respond(
-        payload: Dict[str, Any], *, cached: bool, graph: str
+        payload: Dict[str, Any], *, tier: Optional[str], graph: str
     ) -> Dict[str, Any]:
         # Deep copy: callers may mutate the response, and the payload (its
         # nested "result" dict included) is shared with the cache and with
@@ -267,7 +303,8 @@ class ReliabilityService:
         # cache key is content-based, so a hit may have been computed under
         # a different catalog name for the same graph.
         response = copy.deepcopy(payload)
-        response["cached"] = cached
+        response["cached"] = tier is not None
+        response["cache_tier"] = tier
         response["graph"] = graph
         return response
 
@@ -320,6 +357,8 @@ class ReliabilityService:
             }
             if self._cache is not None:
                 self._cache.put(key, payload)
+            if self._store is not None:
+                self._store.put(key, payload)
             outcomes.append(payload)
         return outcomes
 
