@@ -217,7 +217,10 @@ class Router:
         Best-effort: until it succeeds, names themselves serve as ring
         keys — still deterministic, merely not content-addressed.
         """
-        for key, endpoint in self._supervisor.live_endpoints().items():
+        # Slot order (replica-0, replica-1, ...) is insertion-ordered and
+        # only picks which replica answers first; the learned mapping is
+        # identical whichever one does.
+        for key, endpoint in self._supervisor.live_endpoints().items():  # reprolint: ok(ORD001)
             try:
                 status, payload = await self._http_request(
                     endpoint, "GET", "/graphs"

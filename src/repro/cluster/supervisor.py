@@ -148,20 +148,23 @@ class ReplicaSupervisor:
         if self._monitor is not None:
             self._monitor.join(timeout=10.0)
             self._monitor = None
+        # Snapshot the process list under the lock (the monitor thread is
+        # joined, but _spawn writes handle.process under it — LOCK001).
         with self._lock:
-            handles = list(self._handles.values())
-        for handle in handles:
-            process = handle.process
-            if process is not None and process.poll() is None:
+            processes = [
+                handle.process
+                for handle in self._handles.values()
+                if handle.process is not None
+            ]
+        for process in processes:
+            if process.poll() is None:
                 process.terminate()
-        for handle in handles:
-            process = handle.process
-            if process is not None:
-                try:
-                    process.wait(timeout=10.0)
-                except subprocess.TimeoutExpired:
-                    process.kill()
-                    process.wait(timeout=10.0)
+        for process in processes:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10.0)
 
     def __enter__(self) -> "ReplicaSupervisor":
         return self

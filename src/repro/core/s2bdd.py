@@ -452,7 +452,10 @@ class S2BDD:
         # world G was drawn with per-trial probability q = Pr[G] / p_u.
         estimate = 0.0
         log_unresolved = _safe_log(unresolved_mass)
-        for log_world, connected in ht_contributions.values():
+        # Insertion order = sampling order of the seeded stream, identical
+        # on every run; sorting here would *change* the historical float
+        # summation order and break the pinned checksums.
+        for log_world, connected in ht_contributions.values():  # reprolint: ok(ORD001)
             if not connected:
                 continue
             log_q = log_world - log_unresolved

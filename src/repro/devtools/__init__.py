@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the library but is not part of it.
+
+Nothing under :mod:`repro.devtools` is imported by the runtime packages;
+these are the tools the *project* runs over its own source — currently
+:mod:`repro.devtools.lint`, the determinism & concurrency analyzer that
+front-runs the CI parity gates (see that package's docstring).
+"""

@@ -1,0 +1,6 @@
+"""``python -m repro.devtools.lint`` — same surface as ``repro-lint``."""
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    main()

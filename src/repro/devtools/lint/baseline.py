@@ -1,0 +1,109 @@
+"""The committed baseline: grandfathered findings that do not fail the build.
+
+A baseline entry matches on ``(rule, path, code)`` — the stripped source
+line, not the line number, so unrelated edits above a grandfathered site
+do not resurrect it.  Matching is a *multiset* subtraction: two identical
+lines in one file need two baseline entries, and an entry matches at most
+one finding per run (a new copy of a baselined pattern is a new finding).
+
+The workflow:
+
+* ``repro-lint --write-baseline`` records every current finding (after
+  inline suppressions) into the baseline file with empty ``note`` fields;
+* a human fills in ``note`` — *why* each entry is grandfathered rather
+  than fixed — and commits the file;
+* CI runs ``repro-lint`` with the committed baseline and fails on any
+  finding not in it, so the baseline only ever shrinks (or grows through
+  review, never through drift).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.lint.core import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "split_baselined", "write_baseline"]
+
+#: Conventional location, resolved against the invocation directory.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """The baseline as a multiset of ``(rule, path, code)`` keys.
+
+    A missing file is an empty baseline (the bootstrap state); a file
+    that does not parse or has the wrong version is an error — a corrupt
+    baseline silently matching nothing would fail CI with hundreds of
+    "new" findings and no explanation.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return Counter()
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path} has version {payload.get('version')!r}; "
+            f"this reprolint reads version {_VERSION}"
+        )
+    keys: Counter = Counter()
+    for entry in payload.get("findings", []):
+        keys[(entry["rule"], entry["path"], entry["code"])] += 1
+    return keys
+
+
+def split_baselined(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition ``findings`` into ``(actionable, grandfathered)``."""
+    remaining = Counter(baseline)
+    actionable: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            actionable.append(finding)
+    return actionable, grandfathered
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Record ``findings`` as the new baseline (sorted, notes preserved).
+
+    Existing notes are carried over by key so re-generating after a fix
+    does not wipe the documentation of what remains.
+    """
+    notes: Dict[BaselineKey, str] = {}
+    file_path = Path(path)
+    if file_path.exists():
+        try:
+            for entry in json.loads(file_path.read_text(encoding="utf-8")).get(
+                "findings", []
+            ):
+                key = (entry["rule"], entry["path"], entry["code"])
+                if entry.get("note"):
+                    notes.setdefault(key, entry["note"])
+        except (ValueError, KeyError):
+            pass
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "code": finding.code,
+            "note": notes.get(finding.key(), ""),
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    file_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )

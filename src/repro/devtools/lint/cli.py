@@ -1,0 +1,201 @@
+"""The ``repro-lint`` command line (also ``python -m repro.devtools.lint``).
+
+Exit codes: ``0`` clean (after suppressions and baseline), ``1`` actionable
+findings, ``2`` usage or I/O errors.  ``--format json`` emits one machine-
+readable report (the CI artifact); the default human format prints one
+finding per line plus a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+# Importing the rules module populates the registry as a side effect.
+from repro.devtools.lint import rules as _rules  # noqa: F401
+from repro.devtools.lint.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.devtools.lint.core import RULES, Finding, analyze_path
+
+__all__ = ["build_parser", "main", "run"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & concurrency analyzer for the repro "
+            "engine: enforces the bit-identity invariants (seeded RNG "
+            "funnel, stable fingerprints, ordered serialization, lock "
+            "coverage, picklable process payloads) statically, before the "
+            "CI parity gates would catch a violation dynamically."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=("warning", "error"),
+        default="warning",
+        help="drop findings below this severity (default: warning = keep all)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    width = max(len(name) for name in RULES)
+    lines = [
+        f"{name:<{width}}  {rule.severity:<7}  {rule.summary}"
+        for name, rule in RULES.items()
+    ]
+    return "\n".join(lines)
+
+
+def _render_human(
+    actionable: List[Finding],
+    grandfathered: List[Finding],
+    suppressed: int,
+) -> str:
+    lines = [finding.render() for finding in actionable]
+    summary = (
+        f"{len(actionable)} finding(s), {len(grandfathered)} baselined, "
+        f"{suppressed} suppressed"
+    )
+    lines.append(summary if not actionable else "")
+    if actionable:
+        lines[-1] = summary
+    return "\n".join(lines)
+
+
+def _render_json(
+    actionable: List[Finding],
+    grandfathered: List[Finding],
+    suppressed: int,
+    paths: Sequence[str],
+) -> str:
+    payload = {
+        "tool": "repro-lint",
+        "version": 1,
+        "paths": list(paths),
+        "rules": {
+            name: {"severity": rule.severity, "summary": rule.summary}
+            for name, rule in RULES.items()
+        },
+        "findings": [finding.to_dict() for finding in actionable],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+        "suppressed": suppressed,
+        "ok": not actionable,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if options.select:
+        select = {name.strip() for name in options.select.split(",") if name.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(RULES)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings, suppressed = analyze_path(options.paths, select=select)
+    except (FileNotFoundError, OSError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if options.min_severity == "error":
+        findings = [f for f in findings if f.severity == "error"]
+
+    if options.write_baseline:
+        write_baseline(options.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {options.baseline}; "
+            "fill in the note fields before committing"
+        )
+        return 0
+
+    try:
+        baseline = load_baseline(options.baseline) if not options.no_baseline else None
+    except (ValueError, OSError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    if baseline:
+        actionable, grandfathered = split_baselined(findings, baseline)
+    else:
+        actionable, grandfathered = findings, []
+
+    if options.format == "json":
+        report = _render_json(actionable, grandfathered, suppressed, options.paths)
+    else:
+        report = _render_human(actionable, grandfathered, suppressed)
+    print(report)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 1 if actionable else 0
+
+
+def main() -> None:
+    sys.exit(run())
+
+
+if __name__ == "__main__":
+    main()

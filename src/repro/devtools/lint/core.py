@@ -1,0 +1,314 @@
+"""reprolint core: findings, the rule registry, and the analysis driver.
+
+The analyzer is deliberately stdlib-only (``ast`` + ``re``): it runs in
+every CI job and every contributor checkout without installing anything.
+A :class:`Rule` inspects one parsed module at a time and yields
+:class:`Finding` objects; the driver handles everything around that —
+discovering files, parsing, inline ``# reprolint: ok(RULE)`` suppressions,
+and baseline subtraction (:mod:`repro.devtools.lint.baseline`).
+
+Design constraints the rules are written against:
+
+* **No imports of the analyzed code.**  Everything is syntactic; a rule
+  must never execute the module under analysis (the lint job runs on
+  matrix Pythons the code itself may not support yet).
+* **Heuristic sinks, human triage.**  Rules over-approximate — that is
+  what the suppression comment and the committed baseline are for.  A
+  false positive costs one annotated line; a false negative costs a
+  nondeterminism hunt like PR 5's ``spawn_rng`` bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "RULES",
+    "analyze_source",
+    "analyze_path",
+    "attribute_chain",
+    "dotted_name",
+    "iter_paths",
+    "parent",
+    "parents_of",
+    "register",
+]
+
+#: Inline suppression syntax, on the finding's line or the line above::
+#:
+#:     value = hash(label)  # reprolint: ok(RNG002) identity only, never serialized
+#:
+#: Multiple rules separate with commas; ``ok(*)`` silences every rule.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*ok\(\s*([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)\s*\)")
+
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    code: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """The baseline identity: line numbers drift, code content does not."""
+        return (self.rule, self.path, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "code": self.code,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus the indexes every rule needs."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+
+    # ------------------------------------------------------------------
+    # Navigation helpers
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule.name,
+            severity=rule.severity,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            code=self.line_text(line),
+        )
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """``{line: {rule, ...}}`` of inline ``# reprolint: ok(...)`` comments."""
+        table: Dict[int, Set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                names = {part.strip() for part in match.group(1).split(",")}
+                table[number] = names
+        return table
+
+
+class Rule:
+    """Base class of one named, registered lint rule.
+
+    Subclasses set :attr:`name`, :attr:`severity`, and :attr:`summary`,
+    and implement :meth:`check` as a generator of findings over one
+    :class:`ModuleInfo`.
+    """
+
+    name: str = ""
+    severity: str = "error"
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: The registry, in registration (= documentation) order.
+RULES: "Dict[str, Rule]" = {}
+
+
+def register(cls):
+    """Class decorator adding one :class:`Rule` subclass to the registry."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.name} has unknown severity {cls.severity!r}")
+    if cls.name in RULES:
+        raise ValueError(f"duplicate rule name {cls.name}")
+    RULES[cls.name] = cls()
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Shared AST utilities
+# ----------------------------------------------------------------------
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for non-name chains.
+
+    Calls and subscripts terminate resolution (``f().x`` has no stable
+    root), which is the conservative choice for every rule using chains.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def dotted_name(node: ast.AST) -> str:
+    """The chain rendered ``a.b.c``, or ``""`` when unresolvable."""
+    chain = attribute_chain(node)
+    return ".".join(chain) if chain else ""
+
+
+def parents_of(module: ModuleInfo, node: ast.AST) -> Iterator[ast.AST]:
+    return module.ancestors(node)
+
+
+def parent(module: ModuleInfo, node: ast.AST) -> Optional[ast.AST]:
+    return module.parent(node)
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+def iter_paths(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            collected.extend(p for p in root.rglob("*.py") if p.is_file())
+        elif root.is_file():
+            collected.append(root)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+    # Sorted for output stability (the analyzer practices what it preaches).
+    return sorted(set(collected))
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run every (selected) rule over one source text.
+
+    Returns ``(findings, suppressed_count)``.  A file that does not parse
+    yields a single ``SYNTAX`` finding instead of crashing the run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        finding = Finding(
+            rule="SYNTAX",
+            severity="error",
+            path=path,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1 if error.offset is not None else 1,
+            message=f"file does not parse: {error.msg}",
+        )
+        return [finding], 0
+    module = ModuleInfo(path=path, source=source, tree=tree)
+    suppressions = module.suppressions()
+    active = [
+        rule
+        for name, rule in RULES.items()
+        if select is None or name in select
+    ]
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in active:
+        for finding in rule.check(module):
+            marks = suppressions.get(finding.line, set()) | suppressions.get(
+                finding.line - 1, set()
+            )
+            if finding.rule in marks or "*" in marks:
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def analyze_path(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    relative_to: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Paths in findings are recorded POSIX-style, relative to
+    ``relative_to`` (the current directory by default) when possible —
+    the representation the baseline file matches on.
+    """
+    base = Path(relative_to) if relative_to is not None else Path.cwd()
+    findings: List[Finding] = []
+    suppressed = 0
+    for file_path in iter_paths(paths):
+        try:
+            rendered = file_path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            rendered = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        file_findings, file_suppressed = analyze_source(
+            source, rendered, select=select
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed

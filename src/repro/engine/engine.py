@@ -311,7 +311,9 @@ class ReliabilityEngine:
         entry = self._world_pools.get(id(graph))
         if entry is None or entry[0] != self._world_fingerprint(graph):
             return []
-        return list(entry[1].values())
+        # Insertion order is the documented contract (build order) and is
+        # keyed by (seed, samples) ints — hash-salt-independent.
+        return list(entry[1].values())  # reprolint: ok(ORD001)
 
     def forget(self, graph) -> None:
         """Drop ``graph`` from the decomposition and world-pool caches."""

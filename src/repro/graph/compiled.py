@@ -35,6 +35,8 @@ through the APIs.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import weakref
 from array import array
 from itertools import compress
@@ -512,10 +514,16 @@ def compiled_fingerprint(graph: "UncertainGraph") -> Tuple:
     in the edge probabilities (they drive every sampling loop), so the
     stamp covers both — the same invalidation rule the engine's world-pool
     cache uses.
+
+    The probability component is a SHA-256 over the IEEE-754 bytes of the
+    probabilities in edge-id order, not ``hash(tuple(...))``: a stable
+    digest keeps the stamp process-independent (reprolint RNG002 — the
+    ``spawn_rng`` bug class), while staying O(1) to store per cache entry.
     """
-    return graph.topology_fingerprint() + (
-        hash(tuple(edge.probability for edge in graph.edges())),
+    payload = struct.pack(
+        f"<{graph.num_edges}d", *(edge.probability for edge in graph.edges())
     )
+    return graph.topology_fingerprint() + (hashlib.sha256(payload).hexdigest(),)
 
 
 def compile_graph(graph: "UncertainGraph") -> CompiledGraph:

@@ -386,5 +386,9 @@ class UncertainGraph:
             and self._edges == other._edges
         )
 
-    def __hash__(self) -> int:  # graphs are mutable; identity hash
-        return id(self)
+    def __hash__(self) -> int:
+        # Identity hash: graphs are mutable, so content hashing would break
+        # dict invariants mid-session.  The value never crosses a process
+        # boundary — anything persistent keys on content fingerprints
+        # (service.catalog.graph_fingerprint) instead.
+        return id(self)  # reprolint: ok(RNG002) in-process identity, never serialized

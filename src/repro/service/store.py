@@ -92,8 +92,15 @@ class SharedResultStore:
         self._stats = StoreStats()
         self._connection: Optional[sqlite3.Connection] = None
         self._connection = self._connect()
+        if self._connection is None:
+            self._stats.errors += 1
 
     def _connect(self) -> Optional[sqlite3.Connection]:
+        """Open and initialize the database; ``None`` on any sqlite error.
+
+        Touches no shared counters (the caller accounts the failure), so
+        it is safe from any context without the handle lock.
+        """
         try:
             connection = sqlite3.connect(
                 self._path, timeout=self._timeout, check_same_thread=False
@@ -115,7 +122,6 @@ class SharedResultStore:
             connection.commit()
             return connection
         except sqlite3.Error:
-            self._stats.errors += 1
             return None
 
     @property
@@ -151,7 +157,7 @@ class SharedResultStore:
                 # A torn or tampered row: drop it and recompute.
                 self._stats.errors += 1
                 self._stats.misses += 1
-                self._discard(key)
+                self._discard(self._connection, key)
                 return None
             self._stats.hits += 1
             return payload
@@ -166,7 +172,10 @@ class SharedResultStore:
         try:
             blob = json.dumps(payload, separators=(",", ":"))
         except (TypeError, ValueError):
-            self._stats.errors += 1
+            # Counter mutation needs the lock even on this early-out path
+            # (LOCK001): other threads increment the same stats under it.
+            with self._lock:
+                self._stats.errors += 1
             return False
         with self._lock:
             if self._connection is None:
@@ -183,18 +192,18 @@ class SharedResultStore:
             self._stats.stores += 1
             return True
 
-    def _discard(self, key: CacheKey) -> None:
-        if self._connection is None:
-            return
+    def _discard(self, connection: sqlite3.Connection, key: CacheKey) -> None:
+        """Drop one row.  The caller holds the lock and passes the live
+        connection explicitly, so this method touches no guarded state."""
         try:
-            self._connection.execute(
+            connection.execute(
                 "DELETE FROM results WHERE graph_fingerprint = ? "
                 "AND query_key = ? AND config_fingerprint = ?",
                 key,
             )
-            self._connection.commit()
+            connection.commit()
         except sqlite3.Error:
-            self._stats.errors += 1
+            self._stats.errors += 1  # reprolint: ok(LOCK001) caller holds the lock
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

@@ -1,0 +1,650 @@
+"""reprolint: fixture-backed rule tests plus the shipped-tree meta-test.
+
+Each rule gets at least a positive fixture (the bug class it exists for),
+a negative fixture (the sanctioned way to write the same thing), and the
+two escape hatches are exercised end to end: inline ``# reprolint:
+ok(RULE)`` suppressions and the committed baseline.  The meta-test runs
+the real CLI over the real ``src/`` tree with the real committed baseline
+— the same invocation CI gates on.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import run_lint
+from repro.devtools.lint.baseline import (
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.devtools.lint.core import RULES, analyze_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def findings_for(source, path="fixture.py", select=None):
+    findings, _ = analyze_source(textwrap.dedent(source), path, select=select)
+    return findings
+
+
+def rules_hit(source, path="fixture.py", select=None):
+    return {finding.rule for finding in findings_for(source, path, select)}
+
+
+# ----------------------------------------------------------------------
+# Registry basics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_at_least_six_rules_registered(self):
+        assert len(RULES) >= 6
+
+    def test_documented_rule_set_present(self):
+        assert {
+            "RNG001",
+            "RNG002",
+            "ORD001",
+            "TIME001",
+            "LOCK001",
+            "PICKLE001",
+        } <= set(RULES)
+
+    def test_every_rule_has_severity_and_summary(self):
+        for name, rule in RULES.items():
+            assert rule.severity in ("warning", "error"), name
+            assert rule.summary, name
+
+    def test_syntax_error_becomes_a_finding_not_a_crash(self):
+        findings = findings_for("def broken(:\n    pass\n")
+        assert [f.rule for f in findings] == ["SYNTAX"]
+
+
+# ----------------------------------------------------------------------
+# RNG001 — module-level / unseeded random usage
+# ----------------------------------------------------------------------
+class TestRNG001:
+    def test_module_level_draw_flagged(self):
+        assert "RNG001" in rules_hit(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+
+    def test_bare_imported_draw_flagged(self):
+        assert "RNG001" in rules_hit(
+            """
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+            """
+        )
+
+    def test_unseeded_random_instance_flagged(self):
+        assert "RNG001" in rules_hit(
+            """
+            import random
+
+            def fresh():
+                return random.Random()
+            """
+        )
+
+    def test_seeded_random_instance_ok(self):
+        assert "RNG001" not in rules_hit(
+            """
+            import random
+
+            def fresh(seed):
+                return random.Random(seed)
+            """
+        )
+
+    def test_rng_funnel_module_exempt(self):
+        assert "RNG001" not in rules_hit(
+            """
+            import random
+
+            def resolve_rng(rng=None):
+                if rng is None:
+                    return random.Random()
+                return random.Random(rng)
+            """,
+            path="src/repro/utils/rng.py",
+        )
+
+
+# ----------------------------------------------------------------------
+# RNG002 — hash()/id() into determinism-sensitive sinks
+# ----------------------------------------------------------------------
+class TestRNG002:
+    def test_hash_in_seed_derivation_flagged(self):
+        # The literal spawn_rng bug that shipped in PRs 1-4.
+        assert "RNG002" in rules_hit(
+            """
+            import random
+
+            def spawn_rng(rng, label=""):
+                seed = rng.getrandbits(64) ^ hash(label)
+                return random.Random(seed)
+            """
+        )
+
+    def test_hash_in_fingerprint_function_flagged(self):
+        assert "RNG002" in rules_hit(
+            """
+            def content_fingerprint(values):
+                return hash(tuple(values))
+            """
+        )
+
+    def test_id_as_cache_subscript_flagged(self):
+        assert "RNG002" in rules_hit(
+            """
+            def remember(cache, graph, value):
+                cache[id(graph)] = value
+            """
+        )
+
+    def test_digest_based_seed_ok(self):
+        assert "RNG002" not in rules_hit(
+            """
+            import hashlib
+            import random
+
+            def spawn_rng(rng, label=""):
+                digest = hashlib.sha256(label.encode("utf-8")).digest()
+                seed = rng.getrandbits(64) ^ int.from_bytes(digest[:8], "big")
+                return random.Random(seed)
+            """
+        )
+
+    def test_hash_outside_any_sink_ok(self):
+        # Plain hash() use (e.g. deduplication in a local set) is not the
+        # bug class; only sink-flowing uses are.
+        assert "RNG002" not in rules_hit(
+            """
+            def count_distinct(items):
+                buckets = set()
+                for item in items:
+                    buckets.add(hash(item) % 1024)
+                return len(buckets)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# ORD001 — unordered iteration into sensitive consumers
+# ----------------------------------------------------------------------
+class TestORD001:
+    def test_set_iteration_in_serializer_flagged(self):
+        assert "ORD001" in rules_hit(
+            """
+            def to_payload(terminals):
+                return [vertex for vertex in set(terminals)]
+            """
+        )
+
+    def test_set_feeding_rng_draws_flagged(self):
+        assert "ORD001" in rules_hit(
+            """
+            def corrupt(rng, edges):
+                kept = []
+                for edge in set(edges):
+                    if rng.random() < 0.5:
+                        kept.append(edge)
+                return kept
+            """
+        )
+
+    def test_dict_values_into_json_dumps_flagged(self):
+        assert "ORD001" in rules_hit(
+            """
+            import json
+
+            def wire_payload(stats):
+                return json.dumps(list(stats.values()))
+            """
+        )
+
+    def test_sorted_wrapping_clears_it(self):
+        assert "ORD001" not in rules_hit(
+            """
+            def to_payload(terminals):
+                return [vertex for vertex in sorted(set(terminals))]
+            """
+        )
+
+    def test_order_insensitive_reducer_ok(self):
+        assert "ORD001" not in rules_hit(
+            """
+            def to_payload(weights):
+                return sum(weights.values()) / len(weights)
+            """
+        )
+
+    def test_insensitive_context_ok(self):
+        # Iterating a set in plain bookkeeping code is fine.
+        assert "ORD001" not in rules_hit(
+            """
+            def close_all(handles):
+                for handle in set(handles):
+                    handle.close()
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# TIME001 — wall clock in fingerprint/cache-key code
+# ----------------------------------------------------------------------
+class TestTIME001:
+    def test_time_in_cache_key_function_flagged(self):
+        assert "TIME001" in rules_hit(
+            """
+            import time
+
+            def cache_key(graph, query):
+                return (graph, query, time.time())
+            """
+        )
+
+    def test_datetime_now_into_key_variable_flagged(self):
+        assert "TIME001" in rules_hit(
+            """
+            from datetime import datetime
+
+            def tag(payload):
+                key = datetime.now().isoformat()
+                return {key: payload}
+            """
+        )
+
+    def test_metadata_timestamp_ok(self):
+        # A "created" metadata field is the sanctioned place for time.
+        assert "TIME001" not in rules_hit(
+            """
+            import time
+
+            def manifest(sections):
+                return {"sections": sections, "created": time.time()}
+            """
+        )
+
+    def test_injected_monotonic_clock_ok(self):
+        assert "TIME001" not in rules_hit(
+            """
+            import time
+
+            class Cache:
+                def __init__(self, clock=time.monotonic):
+                    self._clock = clock
+
+                def expired(self, entry):
+                    return self._clock() >= entry.expires_at
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# LOCK001 — inconsistent lock coverage
+# ----------------------------------------------------------------------
+LOCKED_COUNTER = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._total = 0
+
+        def add(self, amount):
+            with self._lock:
+                self._total += amount
+
+        def peek(self):
+            {peek_body}
+"""
+
+
+class TestLOCK001:
+    def test_unlocked_read_of_guarded_attribute_flagged(self):
+        source = LOCKED_COUNTER.format(peek_body="return self._total")
+        assert "LOCK001" in rules_hit(source)
+
+    def test_locked_read_ok(self):
+        source = LOCKED_COUNTER.format(
+            peek_body="with self._lock:\n                return self._total"
+        )
+        assert "LOCK001" not in rules_hit(source)
+
+    def test_init_is_exempt(self):
+        assert "LOCK001" not in rules_hit(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._total = 0
+
+                def add(self, amount):
+                    with self._lock:
+                        self._total += amount
+            """
+        )
+
+    def test_helper_record_attribute_flagged(self):
+        # The ReplicaSupervisor shape: guarded state on a helper record.
+        assert "LOCK001" in rules_hit(
+            """
+            import threading
+
+            class Supervisor:
+                def __init__(self, handles):
+                    self._lock = threading.Lock()
+                    self._handles = handles
+
+                def respawn(self, handle, process):
+                    with self._lock:
+                        handle.process = process
+
+                def kill_all(self):
+                    for handle in self._handles:
+                        handle.process.terminate()
+            """
+        )
+
+    def test_class_without_locks_ignored(self):
+        assert "LOCK001" not in rules_hit(
+            """
+            class Plain:
+                def set(self, value):
+                    self._value = value
+
+                def get(self):
+                    return self._value
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# PICKLE001 — process-boundary payloads
+# ----------------------------------------------------------------------
+class TestPICKLE001:
+    def test_lambda_through_submit_flagged(self):
+        assert "PICKLE001" in rules_hit(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(executor, items):
+                return [executor.submit(lambda x: x + 1, item) for item in items]
+            """
+        )
+
+    def test_closure_through_submit_flagged(self):
+        assert "PICKLE001" in rules_hit(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(executor, offset, items):
+                def shifted(x):
+                    return x + offset
+                return [executor.submit(shifted, item) for item in items]
+            """
+        )
+
+    def test_live_random_through_submit_flagged(self):
+        assert "PICKLE001" in rules_hit(
+            """
+            import random
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(executor, worker, seed):
+                return executor.submit(worker, random.Random(seed))
+            """
+        )
+
+    def test_lock_attribute_through_map_flagged(self):
+        assert "PICKLE001" in rules_hit(
+            """
+            import multiprocessing
+
+            class Runner:
+                def run(self, pool, worker, items):
+                    return pool.map(worker, [(self._lock, item) for item in items])
+            """
+        )
+
+    def test_module_level_callable_and_plain_data_ok(self):
+        assert "PICKLE001" not in rules_hit(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _work(payload):
+                graph, seed = payload
+                return seed
+
+            def fan_out(executor, graph, seeds):
+                return [executor.submit(_work, (graph, seed)) for seed in seeds]
+            """
+        )
+
+    def test_thread_style_submit_in_non_mp_module_ignored(self):
+        # No multiprocessing import => .submit is a thread pool / batcher.
+        assert "PICKLE001" not in rules_hit(
+            """
+            def enqueue(batcher, key):
+                return batcher.submit("group", key, lambda: None)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    POSITIVE = """
+    import random
+
+    def jitter():
+        return random.random(){comment}
+    """
+
+    def test_inline_ok_suppresses(self):
+        source = textwrap.dedent(
+            self.POSITIVE.format(comment="  # reprolint: ok(RNG001) test entropy only")
+        )
+        findings, suppressed = analyze_source(source, "fixture.py")
+        assert not [f for f in findings if f.rule == "RNG001"]
+        assert suppressed == 1
+
+    def test_preceding_line_ok_suppresses(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                # reprolint: ok(RNG001) test entropy only
+                return random.random()
+            """
+        )
+        findings, suppressed = analyze_source(source, "fixture.py")
+        assert not [f for f in findings if f.rule == "RNG001"]
+        assert suppressed == 1
+
+    def test_other_rule_name_does_not_suppress(self):
+        source = textwrap.dedent(self.POSITIVE.format(comment="  # reprolint: ok(ORD001)"))
+        findings, _ = analyze_source(source, "fixture.py")
+        assert [f for f in findings if f.rule == "RNG001"]
+
+    def test_star_suppresses_everything(self):
+        source = textwrap.dedent(self.POSITIVE.format(comment="  # reprolint: ok(*)"))
+        findings, suppressed = analyze_source(source, "fixture.py")
+        assert not findings
+        assert suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _fixture_findings(self, tmp_path, name="module.py"):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        file_path = tmp_path / name
+        file_path.write_text(source)
+        return analyze_source(source, name)[0]
+
+    def test_write_then_match_round_trip(self, tmp_path):
+        findings = self._fixture_findings(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        keys = load_baseline(str(baseline_path))
+        actionable, grandfathered = split_baselined(findings, keys)
+        assert actionable == []
+        assert len(grandfathered) == len(findings)
+
+    def test_baseline_matches_on_code_not_line(self, tmp_path):
+        findings = self._fixture_findings(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        # The same offending line, pushed down by unrelated edits above.
+        moved = textwrap.dedent(
+            """
+            import random
+
+            UNRELATED = 1
+
+
+            def jitter():
+                return random.random()
+            """
+        )
+        moved_findings = analyze_source(moved, "module.py")[0]
+        actionable, grandfathered = split_baselined(
+            moved_findings, load_baseline(str(baseline_path))
+        )
+        assert actionable == []
+        assert len(grandfathered) == 1
+
+    def test_new_copy_of_baselined_pattern_is_actionable(self, tmp_path):
+        findings = self._fixture_findings(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        duplicated = textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+
+            def jitter_again():
+                return random.random()
+            """
+        )
+        dup_findings = analyze_source(duplicated, "module.py")[0]
+        actionable, grandfathered = split_baselined(
+            dup_findings, load_baseline(str(baseline_path))
+        )
+        # Multiset semantics: one entry matches one finding; the copy fails.
+        assert len(grandfathered) == 1
+        assert len(actionable) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+    def test_notes_survive_regeneration(self, tmp_path):
+        findings = self._fixture_findings(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        payload = json.loads(baseline_path.read_text())
+        payload["findings"][0]["note"] = "why this is grandfathered"
+        baseline_path.write_text(json.dumps(payload))
+        write_baseline(str(baseline_path), findings)
+        regenerated = json.loads(baseline_path.read_text())
+        assert regenerated["findings"][0]["note"] == "why this is grandfathered"
+
+
+# ----------------------------------------------------------------------
+# Programmatic API + CLI + the shipped-tree meta-test
+# ----------------------------------------------------------------------
+class TestRunLint:
+    def test_run_lint_over_fixture_tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            "import random\n\n\ndef jitter():\n    return random.random()\n"
+        )
+        actionable, grandfathered, suppressed = run_lint(
+            [str(tmp_path / "pkg")], relative_to=str(tmp_path)
+        )
+        assert [f.rule for f in actionable] == ["RNG001"]
+        assert actionable[0].path == "pkg/bad.py"
+        assert grandfathered == [] and suppressed == 0
+
+
+class TestCLI:
+    def _run(self, args, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_list_rules(self):
+        result = self._run(["--list-rules"], cwd=REPO_ROOT)
+        assert result.returncode == 0
+        for name in ("RNG001", "RNG002", "ORD001", "TIME001", "LOCK001", "PICKLE001"):
+            assert name in result.stdout
+
+    def test_findings_fail_with_exit_1_and_json_report(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\n\ndef jitter():\n    return random.random()\n"
+        )
+        result = self._run(
+            ["bad.py", "--format", "json", "--no-baseline"], cwd=tmp_path
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RNG001"
+        assert payload["rules"]["RNG001"]["severity"] == "error"
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        result = self._run(["ok.py", "--select", "NOPE999"], cwd=tmp_path)
+        assert result.returncode == 2
+
+    def test_meta_shipped_tree_is_clean_with_committed_baseline(self):
+        """The acceptance gate: repro-lint src/ exits 0 at the repo root.
+
+        Runs the exact CI invocation — committed baseline, JSON format —
+        and sanity-checks the report shape: the grandfathered id()-cache
+        findings are baselined, not silently absent.
+        """
+        result = self._run(["src", "--format", "json"], cwd=REPO_ROOT)
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert len(payload["baselined"]) >= 1
+        assert payload["suppressed"] >= 1
