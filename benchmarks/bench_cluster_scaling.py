@@ -89,7 +89,7 @@ def time_cold_start(
         started = time.perf_counter()
         graph = load_dataset(dataset)
         catalog = GraphCatalog(config)
-        catalog.register(dataset, graph, source=f"dataset:{dataset}")
+        catalog.register(dataset, graph, label=f"dataset:{dataset}")
         engine = catalog.engine(dataset)
         engine.world_pool(graph)
         prepare_seconds = min(prepare_seconds, time.perf_counter() - started)
@@ -249,7 +249,7 @@ def benchmark(
 
     snapshot_dir = os.path.join(workdir, "snap-serve")
     catalog = GraphCatalog(config)
-    catalog.register(dataset, graph, source=f"dataset:{dataset}")
+    catalog.register(dataset, graph, label=f"dataset:{dataset}")
     catalog.save_snapshot(snapshot_dir)
 
     runs = []

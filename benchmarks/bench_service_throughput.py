@@ -74,7 +74,7 @@ def build_service(
     graph, dataset: str, config: EstimatorConfig, *, cache_on: bool, batch_workers: int
 ) -> Tuple[ReliabilityService, ServiceServer]:
     catalog = GraphCatalog(config)
-    catalog.register(dataset, graph, source=f"dataset:{dataset}")
+    catalog.register(dataset, graph, label=f"dataset:{dataset}")
     service = ReliabilityService(
         catalog,
         cache=ResultCache() if cache_on else None,

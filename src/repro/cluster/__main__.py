@@ -35,7 +35,7 @@ from repro.datasets import available_datasets
 from repro.engine.config import EstimatorConfig
 from repro.engine.registry import available_backends
 from repro.exceptions import ReproError
-from repro.service.catalog import GraphCatalog
+from repro.service.catalog import DatasetSource, GraphCatalog
 
 __all__ = ["main"]
 
@@ -112,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--build-only", action="store_true",
         help="build the snapshot (if missing) and exit without serving",
     )
+    parser.add_argument(
+        "--allow-updates", action="store_true",
+        help=(
+            "let replicas accept POST /update graph deltas (off by default: "
+            "snapshot-warmed replicas serve read-only); the router "
+            "broadcasts each update to every live replica"
+        ),
+    )
     return parser
 
 
@@ -132,7 +140,7 @@ def _build_snapshot(args: argparse.Namespace) -> None:
         if key.strip()
     ]
     for key in keys:
-        catalog.register_dataset(key, scale=args.scale)
+        catalog.register(key, DatasetSource(key, scale=args.scale))
     catalog.save_snapshot(args.snapshot_dir)
     print(
         f"built snapshot of {', '.join(catalog.names())} in "
@@ -182,6 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             replicas=args.replicas,
             shared_store=store_path,
             host=args.host,
+            extra_args=["--allow-updates"] if args.allow_updates else None,
         )
         supervisor.start()
         router = Router(

@@ -21,6 +21,13 @@ constraint), counting a ``failovers``; and it reports the replica to the
 supervisor, whose monitor respawns it with backoff.  ``/stats`` and
 ``/healthz`` aggregate over every live replica, adding the router's own
 counters and the supervisor's restart counts.
+
+``POST /update`` is the one write path and the one *broadcast*: a graph
+delta must reach every live replica or the shared-nothing fleet forks,
+so the router fans it out to all of them and only answers 200 when all
+of them did (replicas launched without ``--allow-updates`` answer 403,
+surfacing the read-only default).  A successful update drops the learned
+fingerprint map so routing keys re-learn the new content fingerprint.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ class RouterStats:
     failovers: int = 0
     errors: int = 0
     no_replica: int = 0
+    updates: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -332,6 +340,10 @@ class Router:
             if method != "POST":
                 return 405, {"error": "/query_batch expects POST"}
             return await self._forward_batch(body)
+        if path == "/update":
+            if method != "POST":
+                return 405, {"error": "/update expects POST"}
+            return await self._forward_update(body)
         return 404, {"error": f"unknown endpoint {path!r}"}
 
     async def _forward_query(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
@@ -416,6 +428,86 @@ class Router:
             )
         )
         return 200, {"graph": graph, "results": results}
+
+    async def _forward_update(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        """Broadcast a graph delta to *every* live replica.
+
+        Queries route to one owner, but replicas are shared-nothing: a
+        delta applied to only one would silently fork the fleet, so an
+        update is all-or-error.  Every live replica gets the same
+        ``POST /update``; the response reports each replica's outcome
+        under ``"replicas"`` and carries the first replica's payload as
+        the summary (the catalog's update result is deterministic, so
+        all successful replicas report the same fingerprints/version).
+        Any non-200 answer comes back as that failure's status — the
+        caller must treat the fleet as divergent and rebuild or retry.
+        Transport failures are reported to the supervisor like any
+        failed forward, but never failed over: the point is reaching
+        *this* replica, not any replica.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            payload["graph"]
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+        live = self._supervisor.live_endpoints()
+        if not live:
+            with self._stats_lock:
+                self._stats.no_replica += 1
+            return 503, {"error": "no live replica to apply the update"}
+
+        outcomes: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+
+        async def _apply(member: str, endpoint: str) -> None:
+            try:
+                status, answer = await asyncio.wait_for(
+                    self._http_request(endpoint, "POST", "/update", body),
+                    self._forward_timeout,
+                )
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+                self._supervisor.notify_failure(member)
+                outcomes[member] = (502, {
+                    "error": f"replica unreachable: {error}",
+                    "error_type": "ClusterError",
+                })
+                return
+            with self._stats_lock:
+                self._stats.forwarded += 1
+            outcomes[member] = (
+                status, answer if isinstance(answer, dict) else {"result": answer}
+            )
+
+        await asyncio.gather(
+            *(_apply(member, endpoint) for member, endpoint in live.items())
+        )
+        per_replica = {
+            member: {"status": status, **answer}
+            for member, (status, answer) in sorted(outcomes.items())
+        }
+        failures = [
+            (status, answer)
+            for status, answer in (outcomes[m] for m in sorted(outcomes))
+            if status != 200
+        ]
+        if failures:
+            with self._stats_lock:
+                self._stats.errors += 1
+            status, answer = failures[0]
+            return status, {
+                "error": str(answer.get("error", f"status {status}")),
+                "error_type": answer.get("error_type", "ClusterError"),
+                "replicas": per_replica,
+            }
+        with self._stats_lock:
+            self._stats.updates += 1
+        # The graph's content fingerprint changed on every replica: drop
+        # the learned mapping so the next query re-learns it and routing
+        # keys follow the new content.
+        self._fingerprints = {}
+        first = outcomes[sorted(outcomes)[0]][1]
+        return 200, {**first, "replicas": per_replica}
 
     # ------------------------------------------------------------------
     # Forwarding primitives

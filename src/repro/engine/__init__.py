@@ -14,6 +14,11 @@ This package is the library's query layer:
   :class:`ReliabilitySearchQuery`, :class:`TopKReliableVerticesQuery`,
   :class:`ReliableSubgraphQuery`, :class:`ClusteringQuery`) is a
   serializable value answered by one ``engine.query(q)`` dispatch,
+* :mod:`repro.engine.deltas` — the typed update surface: graph mutations
+  (:class:`SetEdgeProbability`, :class:`AddEdge`, :class:`RemoveEdge`,
+  batched :class:`GraphDelta`) are serializable values applied through
+  ``engine.apply_delta(delta)``, which re-prepares incrementally —
+  probability-only deltas keep the decomposition index and compiled CSR,
 * :mod:`repro.engine.worlds` — :class:`WorldPool`, the per-graph cache of
   sampled possible worlds that lets sampling-driven queries share one
   world set instead of resampling per call,
@@ -43,7 +48,17 @@ Example
 """
 
 from repro.engine.config import EstimatorConfig
-from repro.engine.engine import EngineStats, ReliabilityEngine
+from repro.engine.deltas import (
+    ALL_DELTA_KINDS,
+    AddEdge,
+    DeltaOp,
+    GraphDelta,
+    RemoveEdge,
+    SetEdgeProbability,
+    as_graph_delta,
+    delta_from_dict,
+)
+from repro.engine.engine import DeltaOutcome, EngineStats, ReliabilityEngine
 from repro.engine.parallel import (
     ExecutionPlan,
     default_worker_count,
@@ -83,12 +98,17 @@ from repro.engine.registry import (
 from repro.engine.worlds import WorldPool
 
 __all__ = [
+    "ALL_DELTA_KINDS",
     "ALL_QUERY_KINDS",
+    "AddEdge",
     "ClusteringQuery",
     "ClusteringResult",
+    "DeltaOp",
+    "DeltaOutcome",
     "EngineStats",
     "EstimatorConfig",
     "ExecutionPlan",
+    "GraphDelta",
     "KTerminalQuery",
     "KTerminalResult",
     "Query",
@@ -100,16 +120,20 @@ __all__ = [
     "ReliabilitySearchResult",
     "ReliableSubgraphQuery",
     "ReliableSubgraphResult",
+    "RemoveEdge",
+    "SetEdgeProbability",
     "ThresholdQuery",
     "ThresholdResult",
     "TopKReliableVerticesQuery",
     "TopKReliableVerticesResult",
     "UnknownBackendError",
     "WorldPool",
+    "as_graph_delta",
     "available_backends",
     "backend_factory",
     "create_backend",
     "default_worker_count",
+    "delta_from_dict",
     "query_from_dict",
     "register_backend",
     "require_backend",

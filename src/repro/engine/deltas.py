@@ -1,0 +1,353 @@
+"""Typed, serializable graph deltas: the dynamic-graph wire surface.
+
+Monitoring workloads re-weight link probabilities on a served graph while
+queries keep flowing — live telemetry on a road or telecom network.  This
+module gives those mutations the same shape queries already have: frozen,
+``to_dict``/``from_dict``-able values with a canonical key, validated
+against the target graph *before* anything is mutated.
+
+* :class:`SetEdgeProbability` — re-weight one edge (probability-only:
+  topology-derived state such as the 2ECC index and the compiled CSR
+  survives it; see :meth:`ReliabilityEngine.apply_delta
+  <repro.engine.engine.ReliabilityEngine.apply_delta>`),
+* :class:`AddEdge` / :class:`RemoveEdge` — topology changes (force a full
+  re-prepare),
+* :class:`GraphDelta` — an ordered batch of operations applied atomically:
+  the whole batch is validated against a scratch copy first, so a rejected
+  delta never leaves a graph half-mutated.
+
+Wire format
+-----------
+Exactly the query convention (:mod:`repro.engine.queries`): ``to_dict``
+returns ``{"kind": ..., **fields}``, :func:`delta_from_dict` dispatches on
+``kind``, and :meth:`DeltaOp.canonical_key` is the sorted-keys compact
+JSON form — stable across processes, which is what lets the service layer
+log, deduplicate, and audit updates the same way it keys query results.
+
+Example
+-------
+>>> from repro.graph.uncertain_graph import UncertainGraph
+>>> graph = UncertainGraph.from_edge_list([("a", "b", 0.9), ("b", "c", 0.8)])
+>>> delta = GraphDelta(operations=(SetEdgeProbability(edge_id=0, probability=0.5),))
+>>> delta.probability_only
+True
+>>> delta.apply_to(graph)
+>>> graph.probability(0)
+0.5
+>>> delta_from_dict(delta.to_dict()) == delta
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.exceptions import DeltaError
+from repro.utils.validation import check_probability_open_closed
+
+if TYPE_CHECKING:
+    from repro.graph.uncertain_graph import UncertainGraph
+
+__all__ = [
+    "ALL_DELTA_KINDS",
+    "AddEdge",
+    "DeltaOp",
+    "GraphDelta",
+    "RemoveEdge",
+    "SetEdgeProbability",
+    "as_graph_delta",
+    "delta_from_dict",
+]
+
+Vertex = Hashable
+
+_DELTA_TYPES: Dict[str, Type["DeltaOp"]] = {}
+
+
+def _register_delta(cls: Type["DeltaOp"]) -> Type["DeltaOp"]:
+    _DELTA_TYPES[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """Base class of the typed graph mutations.
+
+    ``probability_only`` declares, next to each operation class, whether
+    applying it can change anything beyond edge probabilities.  The
+    engine's incremental re-prepare keys on it: a delta whose operations
+    are all probability-only keeps the 2ECC decomposition index and the
+    compiled CSR topology alive.
+    """
+
+    kind: ClassVar[str] = ""
+    probability_only: ClassVar[bool] = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-safe dict (``kind`` plus the operation's fields)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    def canonical_key(self) -> str:
+        """A stable string identifying this delta's semantic content.
+
+        The :meth:`to_dict` form serialized with sorted keys and compact
+        separators (non-JSON vertex labels fall back to ``repr``) — the
+        same convention as :meth:`Query.canonical_key
+        <repro.engine.queries.Query.canonical_key>`, so two delta objects
+        produce equal keys iff they mutate a graph identically.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeltaOp":
+        """Rebuild an operation from :meth:`to_dict` output."""
+        data = dict(payload)
+        kind = data.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise DeltaError(
+                f"payload kind {kind!r} does not match {cls.__name__} "
+                f"(kind {cls.kind!r}); use delta_from_dict() for dispatch"
+            )
+        field_names = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise DeltaError(
+                f"unknown {cls.__name__} fields: {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(field_names))}"
+            )
+        return cls(**data)
+
+    def validate(self, graph: "UncertainGraph") -> None:
+        """Check this operation applies to ``graph``; raise otherwise."""
+        raise NotImplementedError
+
+    def apply(self, graph: "UncertainGraph") -> None:
+        """Mutate ``graph``.  Callers validate first (see :class:`GraphDelta`)."""
+        raise NotImplementedError
+
+
+@_register_delta
+@dataclass(frozen=True)
+class SetEdgeProbability(DeltaOp):
+    """Replace the existence probability of one edge.
+
+    The probability-only delta: topology is untouched, so the 2ECC
+    decomposition index and the compiled CSR layout stay valid — only the
+    probability column and the sampled world pools refresh.
+    """
+
+    kind: ClassVar[str] = "set-probability"
+    probability_only: ClassVar[bool] = True
+
+    edge_id: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "probability",
+            check_probability_open_closed(self.probability, "edge probability"),
+        )
+
+    def validate(self, graph: "UncertainGraph") -> None:
+        graph.edge(self.edge_id)  # raises EdgeNotFoundError
+
+    def apply(self, graph: "UncertainGraph") -> None:
+        graph.set_probability(self.edge_id, self.probability)
+
+
+@_register_delta
+@dataclass(frozen=True)
+class AddEdge(DeltaOp):
+    """Add an undirected edge (new vertices are created as needed).
+
+    ``edge_id=None`` lets the graph allocate the next id — deterministic
+    given the graph state, but *not* idempotent across repeated
+    application; pin an explicit id when a delta may be retried.
+    """
+
+    kind: ClassVar[str] = "add-edge"
+    probability_only: ClassVar[bool] = False
+
+    u: Vertex
+    v: Vertex
+    probability: float
+    edge_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "probability",
+            check_probability_open_closed(self.probability, "edge probability"),
+        )
+
+    def validate(self, graph: "UncertainGraph") -> None:
+        if self.edge_id is not None and self.edge_id in set(graph.edge_ids()):
+            raise DeltaError(
+                f"cannot add edge {self.edge_id}: the id is already in use"
+            )
+
+    def apply(self, graph: "UncertainGraph") -> None:
+        graph.add_edge(self.u, self.v, self.probability, edge_id=self.edge_id)
+
+
+@_register_delta
+@dataclass(frozen=True)
+class RemoveEdge(DeltaOp):
+    """Remove the edge with the given id (its endpoints stay)."""
+
+    kind: ClassVar[str] = "remove-edge"
+    probability_only: ClassVar[bool] = False
+
+    edge_id: int
+
+    def validate(self, graph: "UncertainGraph") -> None:
+        graph.edge(self.edge_id)  # raises EdgeNotFoundError
+
+    def apply(self, graph: "UncertainGraph") -> None:
+        graph.remove_edge(self.edge_id)
+
+
+@_register_delta
+@dataclass(frozen=True)
+class GraphDelta(DeltaOp):
+    """An ordered batch of operations, validated and applied atomically.
+
+    Order matters (``RemoveEdge(3)`` then ``AddEdge(..., edge_id=3)`` is
+    legal; the reverse is not), so :meth:`validate` replays the whole
+    batch against a scratch copy of the target graph — every sequencing
+    error surfaces *before* the real graph is touched, and a rejected
+    batch never half-applies.
+    """
+
+    kind: ClassVar[str] = "batch"
+
+    operations: Tuple[DeltaOp, ...]
+
+    def __post_init__(self) -> None:
+        operations = tuple(self.operations)
+        if not operations:
+            raise DeltaError(
+                "a GraphDelta needs at least one operation; an empty batch "
+                "would bump versions and invalidate caches for nothing"
+            )
+        for operation in operations:
+            if isinstance(operation, GraphDelta) or not isinstance(operation, DeltaOp):
+                raise DeltaError(
+                    "GraphDelta operations must be non-batch DeltaOp values, "
+                    f"got {type(operation)!r}"
+                )
+        object.__setattr__(self, "operations", operations)
+
+    @property
+    def probability_only(self) -> bool:  # type: ignore[override]
+        """Whether every operation leaves the topology untouched."""
+        return all(operation.probability_only for operation in self.operations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "operations": [operation.to_dict() for operation in self.operations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GraphDelta":
+        data = dict(payload)
+        kind = data.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise DeltaError(
+                f"payload kind {kind!r} does not match GraphDelta "
+                f"(kind {cls.kind!r}); use delta_from_dict() for dispatch"
+            )
+        operations = data.pop("operations", None)
+        if data:
+            raise DeltaError(
+                f"unknown GraphDelta fields: {', '.join(sorted(data))}"
+            )
+        if not isinstance(operations, (list, tuple)):
+            raise DeltaError("GraphDelta payloads need an 'operations' list")
+        return cls(
+            operations=tuple(delta_from_dict(operation) for operation in operations)
+        )
+
+    def validate(self, graph: "UncertainGraph") -> None:
+        """Replay the batch on a scratch copy; raises on the first bad op.
+
+        Probability-only batches skip the copy: set-probability ops never
+        create or remove edges, so they cannot sequence-depend on each
+        other — validating each directly against the live graph is
+        equivalent and keeps the hot update path O(batch), not O(graph).
+        """
+        if self.probability_only:
+            for operation in self.operations:
+                operation.validate(graph)
+            return
+        scratch = graph.copy()
+        for operation in self.operations:
+            operation.validate(scratch)
+            operation.apply(scratch)
+
+    def apply(self, graph: "UncertainGraph") -> None:
+        for operation in self.operations:
+            operation.apply(graph)
+
+    def apply_to(self, graph: "UncertainGraph") -> None:
+        """Validate against ``graph``, then apply — the atomic entry point."""
+        self.validate(graph)
+        self.apply(graph)
+
+
+def delta_from_dict(payload: Mapping[str, Any]) -> DeltaOp:
+    """Rebuild any registered delta type from its :meth:`DeltaOp.to_dict` form."""
+    kind = payload.get("kind")
+    if kind not in _DELTA_TYPES:
+        known = ", ".join(repr(name) for name in sorted(_DELTA_TYPES))
+        raise DeltaError(
+            f"unknown delta kind {kind!r}; registered kinds are: {known}"
+        )
+    return _DELTA_TYPES[kind].from_dict(payload)
+
+
+def as_graph_delta(delta: Union[DeltaOp, Mapping[str, Any]]) -> GraphDelta:
+    """Coerce a single operation (or a wire payload) into a one-op batch.
+
+    Every consumer — the engine, the catalog, the HTTP layer — normalizes
+    through this function, so ``apply_delta(SetEdgeProbability(...))`` and
+    ``apply_delta(GraphDelta(operations=(...,)))`` behave identically.
+    """
+    if isinstance(delta, Mapping):
+        delta = delta_from_dict(delta)
+    if isinstance(delta, GraphDelta):
+        return delta
+    if isinstance(delta, DeltaOp):
+        return GraphDelta(operations=(delta,))
+    raise DeltaError(
+        f"expected a DeltaOp or its to_dict() form, got {type(delta)!r}"
+    )
+
+
+#: Every registered delta kind, in a stable (sorted) order.
+ALL_DELTA_KINDS: List[str] = sorted(_DELTA_TYPES)

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.config import EstimatorConfig
+from repro.engine.deltas import DeltaOp, GraphDelta, as_graph_delta
 from repro.engine.queries import Query, QueryContext, QueryResult, validate_query_terminals
 from repro.engine.registry import ReliabilityBackend, create_backend
 from repro.engine.worlds import WorldPool
@@ -47,13 +48,15 @@ from repro.graph.compiled import (
     CompiledGraph,
     compile_graph,
     compiled_fingerprint,
+    invalidate_compiled,
     is_compiled_cached,
+    refresh_compiled_probabilities,
 )
 from repro.graph.components import GraphDecomposition, decompose_graph
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["EngineStats", "ReliabilityEngine"]
+__all__ = ["DeltaOutcome", "EngineStats", "ReliabilityEngine"]
 
 Vertex = Hashable
 
@@ -108,6 +111,23 @@ class EngineStats:
     compiled_cache_hits:
         How often ``prepare()`` found the graph's compiled form already
         cached and current.
+    deltas_applied:
+        How many typed graph deltas :meth:`ReliabilityEngine.apply_delta`
+        applied (a batched :class:`~repro.engine.deltas.GraphDelta`
+        counts once, however many operations it holds).
+    incremental_prepares:
+        How many re-prepares after a delta took the probability-only fast
+        path: the 2ECC decomposition index and the compiled CSR topology
+        survived, only the probability column and world pools refreshed.
+    full_prepares:
+        How many re-prepares after a delta had to rebuild everything
+        because the topology changed.  A monitoring workload that mostly
+        re-weights edges should see this stay near zero.
+    pools_invalidated:
+        How many cached world pools were dropped by delta re-prepares.
+        Every delta class invalidates pools (sampled worlds bake in the
+        probabilities), so this roughly tracks ``deltas_applied`` times
+        the pools cached per graph.
     """
 
     decompositions_computed: int = 0
@@ -119,6 +139,10 @@ class EngineStats:
     world_pools_evicted: int = 0
     graphs_compiled: int = 0
     compiled_cache_hits: int = 0
+    deltas_applied: int = 0
+    incremental_prepares: int = 0
+    full_prepares: int = 0
+    pools_invalidated: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
@@ -154,6 +178,24 @@ class EngineStats:
             if spec.name == "queries_served" and not include_queries_served:
                 continue
             setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """What one :meth:`ReliabilityEngine.apply_delta` call did.
+
+    Attributes
+    ----------
+    incremental:
+        ``True`` when the probability-only fast path ran (decomposition
+        index and compiled CSR topology survived); ``False`` when the
+        delta changed topology and forced a full re-prepare.
+    pools_invalidated:
+        How many cached world pools this delta dropped.
+    """
+
+    incremental: bool
+    pools_invalidated: int
 
 
 class ReliabilityEngine:
@@ -314,6 +356,66 @@ class ReliabilityEngine:
         # Insertion order is the documented contract (build order) and is
         # keyed by (seed, samples) ints — hash-salt-independent.
         return list(entry[1].values())  # reprolint: ok(ORD001)
+
+    def apply_delta(self, delta: DeltaOp, graph=None) -> DeltaOutcome:
+        """Mutate the active (or given) graph with ``delta`` and re-prepare.
+
+        The dynamic-graph entry point: ``delta`` — a single
+        :class:`~repro.engine.deltas.DeltaOp`, a batched
+        :class:`~repro.engine.deltas.GraphDelta`, or either's ``to_dict``
+        wire form — is validated against the graph first (a rejected delta
+        leaves graph and session untouched), applied, and the session's
+        prepared state is re-synced incrementally: a probability-only
+        delta keeps the 2ECC decomposition index and the compiled CSR
+        topology, refreshing just the probability column and dropping the
+        sampled world pools; a topology delta falls back to a full
+        prepare.  Afterwards every query answers exactly as a fresh
+        engine prepared on the post-delta graph would.
+        """
+        graph = self._require_graph(graph)
+        batch = as_graph_delta(delta)
+        batch.validate(graph)
+        incremental = batch.probability_only
+        batch.apply(graph)
+        self._stats.deltas_applied += 1
+        return self.reprepare(graph, probability_only=incremental)
+
+    def reprepare(self, graph=None, *, probability_only: bool) -> DeltaOutcome:
+        """Re-sync prepared state for a graph already mutated elsewhere.
+
+        The multi-engine half of :meth:`apply_delta`: when several
+        sessions share one graph object (the catalog serves one engine
+        per config), the delta is applied once and every *other* engine
+        re-prepares through this method.  ``probability_only`` must match
+        what the delta actually did — the caller knows, this method
+        cannot re-derive it from the mutated graph alone (edge-id
+        recycling can leave every fingerprint unchanged).
+        """
+        graph = self._require_graph(graph)
+        # id(graph) keys the per-session caches by object identity, same
+        # as prepare()/forget() (grandfathered there): graphs are mutable,
+        # so content hashing is unsound mid-session, and the key never
+        # leaves the process.
+        pools = self._world_pools.pop(id(graph), None)  # reprolint: ok(RNG002)
+        if pools is not None:
+            dropped = len(pools[1])
+            self._stats.pools_invalidated += dropped
+        else:
+            dropped = 0
+        if probability_only:
+            refresh_compiled_probabilities(graph)
+            self._stats.incremental_prepares += 1
+        else:
+            # Full path: drop the stamped entries explicitly instead of
+            # trusting the fingerprints — remove-then-re-add with a
+            # recycled edge id leaves both the topology and compiled
+            # fingerprints unchanged while the structure differs.
+            self._cache.pop(id(graph), None)  # reprolint: ok(RNG002)
+            invalidate_compiled(graph)
+            self._stats.full_prepares += 1
+            self.prepare(graph)
+        self._active = graph
+        return DeltaOutcome(incremental=probability_only, pools_invalidated=dropped)
 
     def forget(self, graph) -> None:
         """Drop ``graph`` from the decomposition and world-pool caches."""

@@ -20,8 +20,10 @@ __all__ = [
     "BDDLimitExceededError",
     "PreprocessError",
     "DatasetError",
+    "DeltaError",
     "SnapshotError",
     "ClusterError",
+    "UpdateRejectedError",
 ]
 
 
@@ -71,6 +73,26 @@ class PreprocessError(ReproError):
 
 class DatasetError(ReproError, ValueError):
     """Raised when a named dataset cannot be built or is unknown."""
+
+
+class DeltaError(GraphError):
+    """Raised when a typed graph delta is malformed or does not apply.
+
+    Covers empty batches, wire payloads with unknown fields or kinds, and
+    deltas that name edges absent from (or already present in) the target
+    graph.  Validation happens against a scratch copy before anything is
+    mutated, so a rejected delta leaves the graph untouched.
+    """
+
+
+class UpdateRejectedError(ReproError):
+    """Raised when a service refuses to apply a graph update.
+
+    Snapshot-warmed replicas serve read-only by default: their prepared
+    state was verified against the snapshot's probe checksums, and an
+    in-place update would silently diverge every replica warmed from the
+    same snapshot.  Start the service with ``--allow-updates`` to opt in.
+    """
 
 
 class SnapshotError(ReproError):

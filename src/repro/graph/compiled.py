@@ -63,7 +63,9 @@ __all__ = [
     "IntUnionFind",
     "compile_graph",
     "compiled_fingerprint",
+    "invalidate_compiled",
     "is_compiled_cached",
+    "refresh_compiled_probabilities",
 ]
 
 Vertex = Hashable
@@ -169,8 +171,11 @@ class CompiledGraph:
     its edges to positions ``0..m-1`` (edge iteration order, i.e. the
     order every reproducibility contract draws uniforms in) and builds a
     CSR adjacency over the non-loop edges.  The compiled form is
-    immutable; a mutated graph must be recompiled (:func:`compile_graph`
-    handles that via fingerprint-stamped caching).
+    topology-immutable: a graph whose structure changed must be recompiled
+    (:func:`compile_graph` handles that via fingerprint-stamped caching),
+    while a probability-only mutation can refresh the probability column
+    in place (:func:`refresh_compiled_probabilities`) and keep the interned
+    CSR layout.
 
     Attributes
     ----------
@@ -304,7 +309,7 @@ class CompiledGraph:
     @property
     def num_nonloop_edges(self) -> int:
         """Number of non-loop edges (the ones the CSR covers)."""
-        return len(self._nonloop_pairs)
+        return len(self._nonloop_draws)
 
     def __repr__(self) -> str:
         return (
@@ -316,6 +321,29 @@ class CompiledGraph:
         """Intern a sequence of vertex labels (raises ``KeyError`` on misses)."""
         index = self.vertex_index
         return [index[label] for label in labels]
+
+    def _refresh_probabilities(self, probabilities: Sequence[float]) -> None:
+        """Swap in new per-position probabilities, keeping the topology.
+
+        The incremental half of the dynamic-graph update path: every
+        structure interned at construction (vertex/edge interning, CSR,
+        neighbour tuples, bit masks) depends only on topology and stays,
+        while the three probability views — the ``array('d')`` column, its
+        plain-list mirror, and the non-loop draw triples — are rebuilt
+        from ``probabilities`` (one float per edge position, in the same
+        edge-iteration order the constructor saw).
+        """
+        if len(probabilities) != len(self.edge_ids):
+            raise ValueError(
+                f"expected {len(self.edge_ids)} probabilities, "
+                f"got {len(probabilities)}"
+            )
+        self._probs[:] = probabilities
+        self.edge_probability = array("d", self._probs)
+        self._nonloop_draws = [
+            (u, v, self._probs[position])
+            for position, (u, v, _) in zip(self._nonloop_positions, self._nonloop_draws)
+        ]
 
     # ------------------------------------------------------------------
     # Bitset worlds
@@ -545,3 +573,38 @@ def is_compiled_cached(graph: "UncertainGraph") -> bool:
     """Whether ``graph`` has a current compiled form in the cache."""
     entry = _CACHE.get(graph)
     return entry is not None and entry[0] == compiled_fingerprint(graph)
+
+
+def refresh_compiled_probabilities(graph: "UncertainGraph") -> CompiledGraph:
+    """Re-sync ``graph``'s compiled form after a probability-only mutation.
+
+    If the cache holds a compiled form whose *topology* component matches
+    (the probability digest is the fingerprint's last element, the
+    topology prefix everything before it), only the probability column is
+    refreshed in place — the interned CSR survives, which is what makes a
+    probability delta cheap.  Otherwise this falls back to a full compile.
+    The refreshed form is bit-identical to a fresh compile: probabilities
+    land in the same edge-iteration order the constructor would see.
+    """
+    fingerprint = compiled_fingerprint(graph)
+    entry = _CACHE.get(graph)
+    if entry is None or entry[0][:-1] != fingerprint[:-1]:
+        compiled = CompiledGraph(graph)
+    else:
+        compiled = entry[1]
+        compiled._refresh_probabilities(
+            [edge.probability for edge in graph.edges()]
+        )
+    _CACHE[graph] = (fingerprint, compiled)
+    return compiled
+
+
+def invalidate_compiled(graph: "UncertainGraph") -> None:
+    """Drop ``graph``'s compiled form, if any.
+
+    The topology-delta escape hatch: edge-id recycling (remove an edge,
+    re-add one under the same id) can leave both the topology fingerprint
+    and the compiled fingerprint unchanged while the structure differs, so
+    the update path invalidates explicitly instead of trusting the stamp.
+    """
+    _CACHE.pop(graph, None)

@@ -7,7 +7,11 @@ prepared graphs, with cross-request reuse the engine alone cannot do.
 * :mod:`repro.service.catalog` — :class:`GraphCatalog`: named uncertain
   graphs keyed by content fingerprint, each served by one prepared
   :class:`~repro.engine.engine.ReliabilityEngine` per config, so 2ECC
-  indexes and world pools are shared across all clients,
+  indexes and world pools are shared across all clients; registration
+  takes the typed :data:`~repro.service.catalog.GraphSource` union
+  (graph / :class:`DatasetSource` / :class:`FileSource`), and
+  :meth:`GraphCatalog.update` applies typed deltas with versioned
+  fingerprints and incremental re-prepare,
 * :mod:`repro.service.cache` — :class:`ResultCache`: an LRU (+ optional
   TTL), byte-bounded cache keyed by ``(graph fingerprint, query
   canonical key, config fingerprint)``; hits are bit-identical to fresh
@@ -20,8 +24,8 @@ prepared graphs, with cross-request reuse the engine alone cannot do.
   serving facade combining the three,
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   asyncio JSON-over-HTTP front-end (``/query``, ``/query_batch``,
-  ``/graphs``, ``/stats``, ``/healthz``, with admission control) and its
-  small blocking client,
+  ``/update``, ``/graphs``, ``/stats``, ``/healthz``, with admission
+  control) and its small blocking client,
 * :mod:`repro.service.snapshot` — versioned on-disk snapshots of a
   catalog's prepared state (``GraphCatalog.save_snapshot`` /
   ``load_snapshot``): warm starts bit-identical to fresh ``prepare()``,
@@ -37,9 +41,9 @@ Example (in-process)
 --------------------
 >>> from repro.engine import EstimatorConfig
 >>> from repro.engine.queries import KTerminalQuery
->>> from repro.service import GraphCatalog, ReliabilityService
+>>> from repro.service import DatasetSource, GraphCatalog, ReliabilityService
 >>> catalog = GraphCatalog(EstimatorConfig(backend="sampling", samples=300, rng=7))
->>> _ = catalog.register_dataset("karate")
+>>> _ = catalog.register("karate", DatasetSource("karate"))
 >>> service = ReliabilityService(catalog)
 >>> first = service.query("karate", KTerminalQuery(terminals=(1, 34)))
 >>> again = service.query("karate", KTerminalQuery(terminals=(1, 34)))
@@ -49,7 +53,15 @@ Example (in-process)
 """
 
 from repro.service.cache import CacheStats, ResultCache, cache_key
-from repro.service.catalog import CatalogEntry, GraphCatalog, graph_fingerprint
+from repro.service.catalog import (
+    CatalogEntry,
+    CatalogUpdate,
+    DatasetSource,
+    FileSource,
+    GraphCatalog,
+    GraphSource,
+    graph_fingerprint,
+)
 from repro.service.client import (
     ServiceClient,
     ServiceError,
@@ -70,8 +82,12 @@ __all__ = [
     "AdmissionStats",
     "CacheStats",
     "CatalogEntry",
+    "CatalogUpdate",
     "CoalesceStats",
+    "DatasetSource",
+    "FileSource",
     "GraphCatalog",
+    "GraphSource",
     "ReliabilityService",
     "ResultCache",
     "SNAPSHOT_FORMAT_VERSION",

@@ -34,7 +34,7 @@ from repro.engine.config import EstimatorConfig
 from repro.engine.registry import available_backends
 from repro.exceptions import ReproError
 from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
-from repro.service.catalog import GraphCatalog
+from repro.service.catalog import DatasetSource, FileSource, GraphCatalog
 from repro.service.core import ReliabilityService
 from repro.service.server import ServiceServer
 from repro.service.store import SharedResultStore
@@ -124,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-limit", type=int, default=32,
         help="accepted-but-waiting requests beyond --max-inflight (then 429)",
     )
+    parser.add_argument(
+        "--allow-updates",
+        action="store_true",
+        help=(
+            "accept POST /update graph deltas; on by default unless "
+            "--snapshot is given (snapshot-warmed replicas serve read-only, "
+            "since an in-place update would diverge siblings warmed from "
+            "the same snapshot)"
+        ),
+    )
     return parser
 
 
@@ -158,14 +168,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             catalog = GraphCatalog(config)
             for key in [key.strip() for key in args.graphs.split(",") if key.strip()]:
-                catalog.register_dataset(key, scale=args.scale)
+                catalog.register(key, DatasetSource(key, scale=args.scale))
             for spec in args.graph_file:
                 name, _, path = spec.partition("=")
                 if not name or not path:
                     print(f"error: --graph-file expects NAME=PATH, got {spec!r}",
                           file=sys.stderr)
                     return 2
-                catalog.register_file(name, path)
+                catalog.register(name, FileSource(path))
         cache = (
             ResultCache(max_bytes=args.cache_bytes, ttl=args.cache_ttl)
             if args.cache_bytes > 0
@@ -176,12 +186,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.shared_store is not None
             else None
         )
+        # Snapshot-warmed processes are read-only unless explicitly opted
+        # in: their prepared state was checksum-verified on load, and an
+        # in-place update would diverge replicas warmed from the same
+        # snapshot.
+        allow_updates = args.allow_updates or args.snapshot is None
         service = ReliabilityService(
             catalog,
             cache=cache,
             store=store,
             batch_workers=args.workers,
             max_batch=args.max_batch,
+            allow_updates=allow_updates,
         )
         server = ServiceServer(
             service,
@@ -199,6 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"serving {', '.join(catalog.names())} on http://{server.address} "
         f"(backend {catalog.config.backend!r}, s={catalog.config.samples}, "
         f"cache={'off' if cache is None else 'on'}, "
+        f"updates={'on' if allow_updates else 'off'}, "
         f"batch workers={args.workers})",
         flush=True,
     )

@@ -56,8 +56,12 @@ class CacheStats:
     accumulating the payload bytes those drops released, so cache churn
     is measurable (a high ``bytes_evicted`` rate under a low hit rate
     means the byte budget is too small for the working set).
-    ``current_bytes`` / ``entries`` describe the live content;
-    ``max_bytes`` the configured budget.
+    ``invalidations`` counts entries dropped by scoped invalidation
+    (:meth:`ResultCache.invalidate_graph` after a graph update, or
+    :meth:`ResultCache.invalidate_all`), with ``bytes_invalidated``
+    accumulating the payload bytes released — same convention as
+    ``bytes_evicted``.  ``current_bytes`` / ``entries`` describe the live
+    content; ``max_bytes`` the configured budget.
     """
 
     hits: int = 0
@@ -65,8 +69,10 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     expirations: int = 0
+    invalidations: int = 0
     bytes_evicted: int = 0
     bytes_expired: int = 0
+    bytes_invalidated: int = 0
     current_bytes: int = 0
     entries: int = 0
     max_bytes: int = 0
@@ -199,6 +205,46 @@ class ResultCache:
             self._entries.clear()
             self._stats.current_bytes = 0
             self._stats.entries = 0
+
+    # ------------------------------------------------------------------
+    # Scoped invalidation
+    # ------------------------------------------------------------------
+    def invalidate_graph(self, graph_fingerprint: str) -> int:
+        """Drop exactly the entries keyed under ``graph_fingerprint``.
+
+        The graph fingerprint is the first element of the cache-key
+        triple, so after a graph update this removes precisely the stale
+        results — entries for other graphs (and other versions of this
+        one) are untouched.  Returns how many entries were dropped.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] == graph_fingerprint
+            ]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._stats.current_bytes -= entry.size
+                self._stats.invalidations += 1
+                self._stats.bytes_invalidated += entry.size
+            self._stats.entries = len(self._entries)
+            return len(stale)
+
+    def invalidate_all(self) -> int:
+        """Drop every entry, counting the drops as invalidations.
+
+        Unlike :meth:`clear` (a maintenance reset), this is the audited
+        form: ``invalidations`` / ``bytes_invalidated`` advance so the
+        flush shows up in ``/stats``.  Returns the entry count dropped.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            freed = self._stats.current_bytes
+            self._entries.clear()
+            self._stats.invalidations += dropped
+            self._stats.bytes_invalidated += freed
+            self._stats.current_bytes = 0
+            self._stats.entries = 0
+            return dropped
 
     # ------------------------------------------------------------------
     # Introspection

@@ -17,20 +17,32 @@ what it contains, not by where it lives in memory.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import struct
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.datasets import load_dataset
 from repro.engine.config import EstimatorConfig
+from repro.engine.deltas import DeltaOp, as_graph_delta
 from repro.engine.engine import ReliabilityEngine
 from repro.exceptions import ConfigurationError
 from repro.graph.io import read_edge_list
 from repro.graph.uncertain_graph import UncertainGraph
 
-__all__ = ["CatalogEntry", "GraphCatalog", "graph_fingerprint"]
+__all__ = [
+    "CatalogEntry",
+    "CatalogUpdate",
+    "DatasetSource",
+    "FileSource",
+    "GraphCatalog",
+    "GraphSource",
+    "graph_fingerprint",
+]
 
 #: Seed substituted when a service config leaves ``rng`` unset.  The
 #: service's cache-key contract requires a deterministic seed; pinning the
@@ -47,37 +59,98 @@ def graph_fingerprint(graph: UncertainGraph) -> str:
     display name is deliberately excluded.  Two graphs fingerprint equally
     iff every reliability query answers identically on them, across
     processes and sessions.
+
+    Probabilities are digested from their IEEE-754 bytes (the same
+    technique as the compiled kernel's stamp) rather than embedded in the
+    JSON payload: shortest-repr float formatting is the single slowest
+    step of hashing a graph, and this function sits on the
+    ``catalog.update`` hot path, re-stamping the content after every
+    delta.  Packed bytes are exactly as discriminating — bit-identical
+    floats in, bit-identical digest out, ``-0.0`` included.
     """
     payload = {
         "vertices": [repr(vertex) for vertex in graph.vertices()],
-        "edges": [
-            [repr(edge.u), repr(edge.v), edge.probability] for edge in graph.edges()
-        ],
+        "edges": [[repr(edge.u), repr(edge.v)] for edge in graph.edges()],
+        "probabilities": hashlib.sha256(
+            b"".join(struct.pack("<d", edge.probability) for edge in graph.edges())
+        ).hexdigest(),
     }
     blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
+class DatasetSource:
+    """Register a named :mod:`repro.datasets` dataset (``key`` at ``scale``)."""
+
+    key: str
+    scale: str = "bench"
+
+
+@dataclass(frozen=True)
+class FileSource:
+    """Register an edge-list file (read via :func:`repro.graph.io.read_edge_list`)."""
+
+    path: str
+
+
+#: What :meth:`GraphCatalog.register` accepts: a caller-built graph, a
+#: dataset reference, or a file reference.
+GraphSource = Union[UncertainGraph, DatasetSource, FileSource]
+
+
+@dataclass(frozen=True)
 class CatalogEntry:
-    """One registered graph: its name, content, and fingerprint."""
+    """One registered graph: its name, content, fingerprint, and version.
+
+    ``version`` starts at 1 and increments monotonically on every
+    :meth:`GraphCatalog.update`, while ``fingerprint`` is the content
+    hash — the pair lets a client distinguish "different graph" (both
+    change on an update) from "same graph, concurrent update" (a version
+    bump between two reads of ``/graphs``).
+    """
 
     name: str
     graph: UncertainGraph
     fingerprint: str
     source: str
+    version: int = 1
 
     def describe(self) -> Dict[str, object]:
         """A JSON-safe summary for the ``/graphs`` endpoint."""
         return {
             "name": self.name,
             "fingerprint": self.fingerprint,
+            "version": self.version,
             "source": self.source,
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "average_degree": round(self.graph.average_degree(), 4),
             "average_probability": round(self.graph.average_probability(), 4),
         }
+
+
+@dataclass(frozen=True)
+class CatalogUpdate:
+    """What one :meth:`GraphCatalog.update` call did, for callers to relay.
+
+    ``old_fingerprint`` is what cached results of the pre-delta graph are
+    keyed under — the service invalidates exactly that scope.
+    ``incremental`` reports whether every prepared engine took the
+    probability-only fast path; ``pools_invalidated`` totals the world
+    pools dropped across them.
+    """
+
+    name: str
+    old_fingerprint: str
+    fingerprint: str
+    version: int
+    incremental: bool
+    pools_invalidated: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe form (the core of the ``/update`` response)."""
+        return dataclasses.asdict(self)
 
 
 class GraphCatalog:
@@ -130,21 +203,46 @@ class GraphCatalog:
     # Registration
     # ------------------------------------------------------------------
     def register(
-        self, name: str, graph: UncertainGraph, *, source: str = "caller"
+        self, name: str, source: GraphSource, *, label: Optional[str] = None
     ) -> CatalogEntry:
-        """Register ``graph`` under ``name``; returns its catalog entry.
+        """Register a graph under ``name``; returns its catalog entry.
+
+        ``source`` is the typed union of everything the catalog can
+        serve: a caller-built :class:`~repro.graph.uncertain_graph.UncertainGraph`,
+        a :class:`DatasetSource` naming a :mod:`repro.datasets` dataset,
+        or a :class:`FileSource` naming an edge-list file.  ``label``
+        overrides the recorded provenance string (defaults to
+        ``"caller"``, ``"dataset:<key>@<scale>"``, or ``"file:<path>"``
+        respectively).
 
         Re-registering a name with identical content is a no-op; with
         different content it raises, because clients may hold cached
-        results keyed by the old fingerprint under that name.
+        results keyed by the old fingerprint under that name — mutate a
+        served graph through :meth:`update` instead.
         """
         if not name:
             raise ConfigurationError("a catalog entry needs a non-empty name")
+        if isinstance(source, UncertainGraph):
+            graph = source
+            provenance = label if label is not None else "caller"
+        elif isinstance(source, DatasetSource):
+            graph = load_dataset(source.key, scale=source.scale)
+            provenance = (
+                label if label is not None else f"dataset:{source.key}@{source.scale}"
+            )
+        elif isinstance(source, FileSource):
+            graph = read_edge_list(source.path, name=name)
+            provenance = label if label is not None else f"file:{source.path}"
+        else:
+            raise ConfigurationError(
+                "register() takes an UncertainGraph, DatasetSource, or "
+                f"FileSource, got {type(source)!r}"
+            )
         entry = CatalogEntry(
             name=name,
             graph=graph,
             fingerprint=graph_fingerprint(graph),
-            source=source,
+            source=provenance,
         )
         with self._lock:
             existing = self._entries.get(name)
@@ -153,7 +251,8 @@ class GraphCatalog:
                     return existing
                 raise ConfigurationError(
                     f"catalog name {name!r} is already registered with "
-                    "different content; unregister it first or pick a new name"
+                    "different content; unregister it first, pick a new "
+                    "name, or apply a delta through update()"
                 )
             self._entries[name] = entry
         return entry
@@ -161,14 +260,85 @@ class GraphCatalog:
     def register_dataset(
         self, key: str, *, name: Optional[str] = None, scale: str = "bench"
     ) -> CatalogEntry:
-        """Load a :mod:`repro.datasets` dataset and register it (by its key)."""
-        graph = load_dataset(key, scale=scale)
-        return self.register(name or key, graph, source=f"dataset:{key}@{scale}")
+        """Deprecated alias for ``register(name, DatasetSource(key, scale))``."""
+        warnings.warn(
+            "GraphCatalog.register_dataset() is deprecated; use "
+            "register(name, DatasetSource(key, scale=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(name or key, DatasetSource(key, scale=scale))
 
     def register_file(self, name: str, path: str) -> CatalogEntry:
-        """Read an edge-list file (:func:`repro.graph.io.read_edge_list`)."""
-        graph = read_edge_list(path, name=name)
-        return self.register(name, graph, source=f"file:{path}")
+        """Deprecated alias for ``register(name, FileSource(path))``."""
+        warnings.warn(
+            "GraphCatalog.register_file() is deprecated; use "
+            "register(name, FileSource(path)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(name, FileSource(path))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(
+        self, name: str, delta: Union[DeltaOp, Mapping[str, Any]]
+    ) -> CatalogUpdate:
+        """Apply a typed delta to the graph registered under ``name``.
+
+        The delta (any :mod:`repro.engine.deltas` value, or its
+        ``to_dict`` wire form) is validated first — a rejected delta
+        leaves graph, engines, and entry untouched.  On success every
+        engine prepared for ``name`` is re-synced (incrementally for
+        probability-only deltas: the decomposition index and compiled CSR
+        survive), and the entry's fingerprint is recomputed with its
+        version bumped.
+
+        The caller owns invalidation of results cached under the returned
+        ``old_fingerprint`` (:class:`~repro.service.core.ReliabilityService`
+        does this) and must serialize updates against in-flight
+        evaluations — the catalog only guarantees updates do not race
+        each other or registration.
+        """
+        batch = as_graph_delta(delta)
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                known = ", ".join(repr(key) for key in self._entries) or "none"
+                raise ConfigurationError(
+                    f"unknown graph {name!r}; registered graphs: {known}"
+                )
+            engines = [
+                engine for (key, _), engine in self._engines.items() if key == name
+            ]
+            graph = entry.graph
+            if engines:
+                outcome = engines[0].apply_delta(batch, graph)
+                incremental = outcome.incremental
+                pools_invalidated = outcome.pools_invalidated
+                for other in engines[1:]:
+                    synced = other.reprepare(graph, probability_only=incremental)
+                    pools_invalidated += synced.pools_invalidated
+            else:
+                batch.validate(graph)
+                incremental = batch.probability_only
+                batch.apply(graph)
+                pools_invalidated = 0
+            updated = dataclasses.replace(
+                entry,
+                fingerprint=graph_fingerprint(graph),
+                version=entry.version + 1,
+            )
+            self._entries[name] = updated
+        return CatalogUpdate(
+            name=name,
+            old_fingerprint=entry.fingerprint,
+            fingerprint=updated.fingerprint,
+            version=updated.version,
+            incremental=incremental,
+            pools_invalidated=pools_invalidated,
+        )
 
     def unregister(self, name: str) -> None:
         """Drop a graph and every engine prepared for it."""

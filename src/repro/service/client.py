@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.engine.deltas import DeltaOp
 from repro.engine.queries import Query, QueryResult, result_from_dict
 from repro.exceptions import ReproError
 
@@ -37,6 +38,7 @@ __all__ = [
 ]
 
 QueryLike = Union[Query, Mapping[str, Any]]
+DeltaLike = Union[DeltaOp, Mapping[str, Any]]
 
 
 class ServiceError(ReproError):
@@ -190,6 +192,23 @@ class ServiceClient:
                 outcomes.append(ServiceResponse.from_payload(item))
         return outcomes
 
+    def update(self, graph: str, delta: DeltaLike) -> Dict[str, Any]:
+        """Apply a typed graph delta through ``POST /update``.
+
+        Accepts any :mod:`repro.engine.deltas` value or its ``to_dict``
+        wire form; returns the server's update payload (old/new
+        fingerprint, version, ``incremental`` flag, invalidation counts).
+
+        Deliberately *not* retried on 429, unlike every other endpoint:
+        an update is not idempotent (an ``add-edge`` without a pinned
+        ``edge_id`` allocates a fresh id per application), and a shed
+        request gives no signal about whether it was applied.  A 403
+        (read-only replica) surfaces as a :class:`ServiceError`.
+        """
+        return self._request_once(
+            "POST", "/update", {"graph": graph, "delta": _delta_dict(delta)}
+        )
+
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
@@ -198,9 +217,11 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """One logical request: a 429 is retried up to ``max_retries`` times.
 
-        Safe to retry unconditionally: every endpoint is idempotent (the
-        service's answers are pure functions of the request), so a shed
-        request repeated is the same request.
+        Safe to retry unconditionally: every endpoint routed through here
+        is idempotent (the service's answers are pure functions of the
+        request), so a shed request repeated is the same request.
+        :meth:`update` is the exception — it calls ``_request_once``
+        directly because applying a delta twice is not applying it once.
         """
         for attempt in range(self._max_retries + 1):
             try:
@@ -265,3 +286,9 @@ def _query_dict(query: QueryLike) -> Dict[str, Any]:
     if isinstance(query, Query):
         return query.to_dict()
     return dict(query)
+
+
+def _delta_dict(delta: DeltaLike) -> Dict[str, Any]:
+    if isinstance(delta, DeltaOp):
+        return delta.to_dict()
+    return dict(delta)

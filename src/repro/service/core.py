@@ -28,9 +28,10 @@ import threading
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.engine.deltas import DeltaOp
 from repro.engine.parallel import results_checksum
 from repro.engine.queries import Query, query_from_dict
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UpdateRejectedError
 from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import GraphCatalog
 from repro.service.coalesce import SingleFlightBatcher
@@ -53,13 +54,15 @@ class ServiceStats:
     ``engine_evaluations`` counts queries the engine actually computed —
     the number the cache and the coalescer exist to minimize; the
     benchmark's ≥2× reduction gate compares it between cache-on and
-    cache-off runs of the same workload.
+    cache-off runs of the same workload.  ``updates_applied`` counts
+    graph deltas applied through :meth:`ReliabilityService.update`.
     """
 
     requests: int = 0
     cache_hits: int = 0
     shared_store_hits: int = 0
     engine_evaluations: int = 0
+    updates_applied: int = 0
     errors: int = 0
 
     def to_dict(self) -> Dict[str, int]:
@@ -92,6 +95,12 @@ class ReliabilityService:
         cache, and every engine evaluation is written through to both
         tiers.  The service does not close the store (it may be shared);
         the owner does.
+    allow_updates:
+        Whether :meth:`update` may mutate served graphs.  ``False`` is
+        the read-only mode snapshot-warmed replicas default to: their
+        prepared state was checksum-verified against the snapshot, and an
+        in-place update would silently diverge sibling replicas warmed
+        from the same snapshot.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class ReliabilityService:
         store: Optional[SharedResultStore] = None,
         batch_workers: int = 1,
         max_batch: int = 64,
+        allow_updates: bool = True,
     ) -> None:
         check_positive_int(batch_workers, "batch_workers")
         self._catalog = catalog
@@ -113,6 +123,11 @@ class ReliabilityService:
         self._config_fingerprint = catalog.config.fingerprint()
         self._stats = ServiceStats()
         self._stats_lock = threading.Lock()
+        self._allow_updates = allow_updates
+        # Serializes update() against micro-batch evaluation: a delta must
+        # never land between a batch's evaluation and its cache writes, or
+        # post-delta results would be stored under the pre-delta key.
+        self._update_lock = threading.Lock()
         self._batcher = SingleFlightBatcher(self._evaluate_group, max_batch=max_batch)
         self._closed = False
 
@@ -234,6 +249,83 @@ class ReliabilityService:
                     self._stats.errors += 1
         return [outcome for outcome in outcomes if outcome is not None]
 
+    # ------------------------------------------------------------------
+    # Updates and invalidation
+    # ------------------------------------------------------------------
+    @property
+    def allow_updates(self) -> bool:
+        """Whether :meth:`update` is enabled on this service."""
+        return self._allow_updates
+
+    def update(
+        self, graph: str, delta: Union[DeltaOp, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Apply a typed delta to the named graph; returns the JSON payload.
+
+        Delegates to :meth:`GraphCatalog.update` (validation, incremental
+        re-prepare, fingerprint/version bump) under the update lock, so a
+        delta never interleaves with a micro-batch evaluation, then drops
+        exactly the results cached under the pre-delta fingerprint from
+        both cache tiers.  The payload carries the catalog's
+        :class:`~repro.service.catalog.CatalogUpdate` fields plus an
+        ``"invalidated"`` entry/row count per tier.
+
+        Raises :class:`~repro.exceptions.UpdateRejectedError` when the
+        service is read-only (``allow_updates=False``).
+        """
+        if not self._allow_updates:
+            raise UpdateRejectedError(
+                "this service is read-only (snapshot-warmed replicas reject "
+                "updates by default); restart with --allow-updates to opt in"
+            )
+        try:
+            with self._update_lock:
+                outcome = self._catalog.update(graph, delta)
+                invalidated = self._invalidate_fingerprint(outcome.old_fingerprint)
+        except Exception:
+            with self._stats_lock:
+                self._stats.errors += 1
+            raise
+        with self._stats_lock:
+            self._stats.updates_applied += 1
+        return {**outcome.to_dict(), "invalidated": invalidated}
+
+    def invalidate_graph(self, fingerprint: str) -> Dict[str, int]:
+        """Drop every cached result keyed under ``fingerprint``, both tiers.
+
+        Scoped: results for other graphs (and other versions of the same
+        graph) survive.  Returns ``{"cache_entries": ..., "store_entries":
+        ...}`` counts of what was dropped.
+        """
+        with self._update_lock:
+            return self._invalidate_fingerprint(fingerprint)
+
+    def invalidate_all(self) -> Dict[str, int]:
+        """Flush the memory cache and every row of the shared store.
+
+        The blunt instrument for operational recovery; prefer
+        :meth:`invalidate_graph` after an update (which :meth:`update`
+        already performs).  Returns per-tier drop counts.
+        """
+        with self._update_lock:
+            cache_entries = (
+                self._cache.invalidate_all() if self._cache is not None else 0
+            )
+            store_entries = (
+                self._store.invalidate_all() if self._store is not None else 0
+            )
+            return {"cache_entries": cache_entries, "store_entries": store_entries}
+
+    def _invalidate_fingerprint(self, fingerprint: str) -> Dict[str, int]:
+        """Drop one fingerprint's results from both tiers (no locking here)."""
+        cache_entries = (
+            self._cache.invalidate_graph(fingerprint) if self._cache is not None else 0
+        )
+        store_entries = (
+            self._store.invalidate_graph(fingerprint) if self._store is not None else 0
+        )
+        return {"cache_entries": cache_entries, "store_entries": store_entries}
+
     def close(self) -> None:
         """Drain pending work and stop the batcher thread."""
         if not self._closed:
@@ -316,7 +408,18 @@ class ReliabilityService:
         if that raises (one bad query fails a shared batch), each query is
         retried individually so failures stay per-request.  Successful
         payloads are stored in the cache before their futures resolve.
+
+        Holds the update lock end to end, and keys cache writes by the
+        fingerprint read *inside* it, not the one the request was
+        submitted under: a delta landing between submission and
+        evaluation would otherwise store post-delta results under the
+        pre-delta key — exactly the stale entry scoped invalidation just
+        removed.
         """
+        with self._update_lock:
+            return self._evaluate_group_locked(group, items)
+
+    def _evaluate_group_locked(self, group: str, items: Sequence[Any]) -> List[Any]:
         engine = self._catalog.engine(group)
         fingerprint = self._catalog.entry(group).fingerprint
         queries = [request for _, request in items]
@@ -343,7 +446,7 @@ class ReliabilityService:
         with self._stats_lock:
             self._stats.engine_evaluations += engine.stats.queries_served - before
         outcomes: List[Any] = []
-        for (key, query), result in zip(items, results):
+        for (_, query), result in zip(items, results):
             if isinstance(result, Exception):
                 outcomes.append(result)
                 continue
@@ -355,6 +458,11 @@ class ReliabilityService:
                 "checksum": results_checksum([result]),
                 "result": result.to_dict(),
             }
+            # Re-derive the storage key from the *current* fingerprint —
+            # the submitted key may predate a graph update.
+            key = cache_key(
+                fingerprint, query.canonical_key(), self._config_fingerprint
+            )
             if self._cache is not None:
                 self._cache.put(key, payload)
             if self._store is not None:

@@ -1,24 +1,28 @@
 """The JSON-over-HTTP network front-end (stdlib asyncio only).
 
-A deliberately small HTTP/1.1 server exposing the service over five
-endpoints, all speaking the existing wire format
+A deliberately small HTTP/1.1 server exposing the service over six
+endpoints, all speaking the existing wire formats
 (:func:`~repro.engine.queries.query_from_dict` /
-:func:`~repro.engine.queries.result_from_dict`):
+:func:`~repro.engine.queries.result_from_dict` /
+:func:`~repro.engine.deltas.delta_from_dict`):
 
 =========================  =============================================
 ``GET /healthz``           liveness probe (name, registered graph count)
-``GET /graphs``            the catalog: names, fingerprints, sizes
+``GET /graphs``            the catalog: names, fingerprints, versions
 ``GET /stats``             service + cache + coalescer + engine counters
 ``POST /query``            ``{"graph": name, "query": Query.to_dict()}``
 ``POST /query_batch``      ``{"graph": name, "queries": [...]}``
+``POST /update``           ``{"graph": name, "delta": DeltaOp.to_dict()}``
 =========================  =============================================
 
 Evaluation runs on a bounded thread pool (``max_inflight`` threads) so
 the asyncio loop never blocks on engine work; requests beyond the pool
 plus a bounded wait queue are rejected with **429** and a ``Retry-After``
 header — admission control, so overload degrades into fast rejections
-instead of unbounded queueing.  Client errors (unknown graph, malformed
-query, invalid terminals) map to **400**; everything else to **500**.
+instead of unbounded queueing (updates count against the same budget).
+Client errors (unknown graph, malformed query, invalid terminals) map to
+**400**; an update on a read-only service to **403**; everything else to
+**500**.
 
 Connections are one-request (``Connection: close``), which keeps the
 protocol parser trivial; the blocking
@@ -35,7 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError, ReproError, UpdateRejectedError
 from repro.service.core import ReliabilityService
 from repro.utils.validation import check_positive_int
 
@@ -44,6 +48,7 @@ __all__ = ["AdmissionStats", "MAX_BODY_BYTES", "ServiceServer"]
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
@@ -315,6 +320,10 @@ class ServiceServer:
             if method != "POST":
                 return 405, {"error": f"{path} expects POST"}
             return await self._handle_query(path, body)
+        if path == "/update":
+            if method != "POST":
+                return 405, {"error": f"{path} expects POST"}
+            return await self._handle_update(body)
         return 404, {"error": f"unknown endpoint {path!r}"}
 
     def _admission_snapshot(self) -> Dict[str, int]:
@@ -324,19 +333,13 @@ class ServiceServer:
             snapshot["max_pending"] = self._max_pending
         return snapshot
 
-    async def _handle_query(
-        self, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
-        try:
-            payload = json.loads(body.decode("utf-8"))
-            if not isinstance(payload, dict):
-                raise ValueError("request body must be a JSON object")
-            graph = payload["graph"]
-        except (ValueError, KeyError) as error:
-            return 400, {"error": f"bad request body: {error}"}
+    def _try_admit(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Claim an admission slot; the 429 response when none is free.
 
-        # Admission control: accept at most max_inflight executing plus
-        # queue_limit waiting query requests; shed the rest immediately.
+        Admission control: accept at most ``max_inflight`` executing plus
+        ``queue_limit`` waiting requests; shed the rest immediately.  The
+        caller must balance a successful claim with :meth:`_release`.
+        """
         with self._admission_lock:
             if self._pending >= self._max_pending:
                 self._admission.rejected += 1
@@ -349,6 +352,26 @@ class ServiceServer:
             self._admission.peak_pending = max(
                 self._admission.peak_pending, self._pending
             )
+        return None
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._pending -= 1
+
+    async def _handle_query(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            graph = payload["graph"]
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+
+        rejected = self._try_admit()
+        if rejected is not None:
+            return rejected
         loop = asyncio.get_running_loop()
         try:
             if path == "/query":
@@ -372,5 +395,31 @@ class ServiceServer:
         except Exception as error:
             return 500, {"error": str(error), "error_type": type(error).__name__}
         finally:
-            with self._admission_lock:
-                self._pending -= 1
+            self._release()
+
+    async def _handle_update(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            graph = payload["graph"]
+            delta = payload["delta"]
+        except (ValueError, KeyError) as error:
+            return 400, {"error": f"bad request body: {error}"}
+
+        rejected = self._try_admit()
+        if rejected is not None:
+            return rejected
+        loop = asyncio.get_running_loop()
+        try:
+            work = lambda: self._service.update(graph, delta)  # noqa: E731
+            result = await loop.run_in_executor(self._executor, work)
+            return 200, result
+        except UpdateRejectedError as error:
+            return 403, {"error": str(error), "error_type": type(error).__name__}
+        except ReproError as error:
+            return 400, {"error": str(error), "error_type": type(error).__name__}
+        except Exception as error:
+            return 500, {"error": str(error), "error_type": type(error).__name__}
+        finally:
+            self._release()

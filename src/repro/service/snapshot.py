@@ -535,7 +535,7 @@ def load_catalog_snapshot(path: str, *, verify: bool = False) -> "GraphCatalog":
             engines[entry["directory"]] = engine
             graphs[entry["directory"]] = graph
         catalog.register(
-            entry["name"], graphs[entry["directory"]], source=entry.get("source", "snapshot")
+            entry["name"], graphs[entry["directory"]], label=entry.get("source", "snapshot")
         )
         catalog.adopt_engine(entry["name"], engines[entry["directory"]])
     return catalog

@@ -13,8 +13,10 @@ Sharing cached answers across processes is safe *only* because of the
 service's determinism contract: every value is a pure function of exactly
 that key (pinned seed schedule, fingerprinted config), so whichever
 replica computed an answer first, every other replica would have computed
-the same bytes.  There is no invalidation problem to solve — entries never
-go stale, and a lost write or failed read merely costs a recomputation.
+the same bytes.  Entries never go stale *under a fixed fingerprint* — a
+graph update changes the fingerprint (new writes land under new keys) and
+:meth:`SharedResultStore.invalidate_graph` drops the rows of the old one,
+so a lost write or failed read merely costs a recomputation.
 
 That shapes the error policy: **the store degrades to a miss**.  Locked
 database, corrupted file, disk full — lookups return ``None``, writes are
@@ -44,13 +46,16 @@ class StoreStats:
     Counters are per-handle (this process's view), not global across
     replicas — aggregate over ``/stats`` of every replica for the cluster
     picture.  ``errors`` counts operations that degraded to a miss or a
-    dropped write.
+    dropped write; ``invalidations`` counts rows deleted by scoped
+    invalidation after a graph update (the delete is global to the file,
+    but only the handle that performed it counts it).
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -191,6 +196,51 @@ class SharedResultStore:
                 return False
             self._stats.stores += 1
             return True
+
+    def invalidate_graph(self, graph_fingerprint: str) -> int:
+        """Delete exactly the rows stored under ``graph_fingerprint``.
+
+        The fingerprint is the first primary-key column, so after a graph
+        update this drops precisely the stale results — rows for other
+        graphs (and for the updated graph's new fingerprint) survive.
+        Returns the number of rows deleted; errors degrade to 0 deletions
+        like every other store operation.
+        """
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                cursor = self._connection.execute(
+                    "DELETE FROM results WHERE graph_fingerprint = ?",
+                    (graph_fingerprint,),
+                )
+                self._connection.commit()
+            except sqlite3.Error:
+                self._stats.errors += 1
+                return 0
+            dropped = cursor.rowcount if cursor.rowcount > 0 else 0
+            self._stats.invalidations += dropped
+            return dropped
+
+    def invalidate_all(self) -> int:
+        """Delete every row in the store file (all graphs, all configs).
+
+        Global by design — the file is shared across replicas, so this is
+        the operational full flush, not routine post-update hygiene.
+        Returns the number of rows deleted (0 on error, as usual).
+        """
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                cursor = self._connection.execute("DELETE FROM results")
+                self._connection.commit()
+            except sqlite3.Error:
+                self._stats.errors += 1
+                return 0
+            dropped = cursor.rowcount if cursor.rowcount > 0 else 0
+            self._stats.invalidations += dropped
+            return dropped
 
     def _discard(self, connection: sqlite3.Connection, key: CacheKey) -> None:
         """Drop one row.  The caller holds the lock and passes the live

@@ -341,3 +341,81 @@ class TestCluster:
         assert supervisor.restart_counts()[victim] >= 1
         assert supervisor.live_endpoints()[victim] != old_endpoint
         assert client.query("karate", query).checksum == expected
+
+
+# ----------------------------------------------------------------------
+# Updates through the router
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def updatable_cluster(snapshot_dir, tmp_path_factory):
+    """A cluster whose replicas opt in to updates (``--allow-updates``)."""
+    store = str(tmp_path_factory.mktemp("update-store") / "shared.sqlite")
+    supervisor = ReplicaSupervisor(
+        snapshot_dir,
+        replicas=2,
+        shared_store=store,
+        poll_interval=0.1,
+        extra_args=["--allow-updates"],
+    )
+    supervisor.start()
+    router = Router(supervisor, port=0)
+    router.start_background()
+    try:
+        yield supervisor, router
+    finally:
+        router.close()
+        supervisor.stop()
+
+
+class TestClusterUpdates:
+    DELTA = {
+        "kind": "batch",
+        "operations": [
+            {"kind": "set-probability", "edge_id": 0, "probability": 0.25},
+            {"kind": "set-probability", "edge_id": 7, "probability": 0.9},
+        ],
+    }
+
+    def test_snapshot_warmed_replicas_reject_updates(self, cluster):
+        _, router = cluster
+        client = ClusterClient(port=router.port)
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.update("karate", self.DELTA)
+        assert excinfo.value.status == 403
+        replicas = excinfo.value.payload["replicas"]
+        assert len(replicas) == 2
+        assert all(entry["status"] == 403 for entry in replicas.values())
+
+    def test_update_broadcasts_to_every_replica(self, updatable_cluster):
+        from repro.engine import ReliabilityEngine
+        from repro.engine import results_checksum
+        from repro.engine.deltas import delta_from_dict
+
+        _, router = updatable_cluster
+        client = ClusterClient(port=router.port)
+        query = KTerminalQuery(terminals=(1, 34))
+        stale = client.query("karate", query)
+
+        payload = client.update("karate", self.DELTA)
+        assert payload["incremental"] is True
+        assert payload["version"] == 2
+        replicas = payload["replicas"]
+        assert len(replicas) == 2
+        assert all(entry["status"] == 200 for entry in replicas.values())
+        assert len({entry["fingerprint"] for entry in replicas.values()}) == 1
+
+        # Post-update answers are fresh (no stale cache hit) and
+        # bit-identical to a fresh prepare of the mutated graph.
+        reference = load_dataset("karate")
+        delta_from_dict(self.DELTA).apply_to(reference)
+        fresh = ReliabilityEngine(
+            EstimatorConfig(backend="sampling", samples=200, rng=7)
+        ).prepare(reference)
+        expected = results_checksum([fresh.query(query, seed_index=0)])
+        answer = client.query("karate", query)
+        assert answer.cached is False
+        assert answer.checksum == expected
+        assert answer.checksum != stale.checksum
+        assert router.stats().updates == 1

@@ -115,7 +115,8 @@ class TestGraphCatalog:
 
     def test_register_dataset_and_unregister(self, config):
         cat = GraphCatalog(config)
-        cat.register_dataset("karate")
+        with pytest.warns(DeprecationWarning, match="register_dataset"):
+            cat.register_dataset("karate")
         cat.engine("karate")
         cat.unregister("karate")
         assert cat.names() == []
