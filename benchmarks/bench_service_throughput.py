@@ -8,7 +8,7 @@ from 1, 8, and 32 concurrent blocking clients, recording throughput,
 p50/p95 latency, and the cache hit rate per concurrency level into a
 machine-readable ``BENCH_service.json``.
 
-Two gates make the run a correctness check, not just a stopwatch:
+Three gates make the run a correctness check, not just a stopwatch:
 
 * **Parity** — every response's checksum (cached or not) must equal the
   checksum of a direct ``engine.query(q, seed_index=0)`` evaluation on a
@@ -17,6 +17,11 @@ Two gates make the run a correctness check, not just a stopwatch:
   with the cache on and off; the cache + coalescer must cut engine
   evaluations by at least 2× (``--min-reduction``), or the run exits
   non-zero.
+* **Tracing overhead** — the stream is replayed with the tracing
+  subsystem enabled (but no request traced, the production default) and
+  with it disabled process-wide; enabled-untraced throughput must stay
+  within ``--max-trace-overhead`` (default 2%) of disabled, best of
+  alternating rounds.
 
 Usage::
 
@@ -42,6 +47,7 @@ from repro.datasets import load_dataset
 from repro.engine import EstimatorConfig, ReliabilityEngine, results_checksum
 from repro.engine.queries import Query
 from repro.experiments.workloads import service_workload
+from repro.obs import trace as obs_trace
 from repro.service import (
     GraphCatalog,
     ReliabilityService,
@@ -135,6 +141,59 @@ def replay(
     return time.perf_counter() - started, latencies, observations, errors[0]
 
 
+def tracing_overhead(
+    graph,
+    dataset: str,
+    config: EstimatorConfig,
+    queries: Sequence[Query],
+    stream: Sequence[int],
+    *,
+    batch_workers: int,
+    max_overhead: float,
+    rounds: int = 3,
+) -> Dict:
+    """Throughput cost of the tracing subsystem when no request is traced.
+
+    One warmed service, alternating replays with tracing enabled (the
+    production default — no ``X-Repro-Trace`` header and no ``timings``
+    request, so the cost is the per-request header lookup) and disabled
+    process-wide.  Best-of-``rounds`` throughput per mode damps scheduler
+    noise; the gate holds the enabled deficit under ``max_overhead``.
+    """
+    best = {True: 0.0, False: 0.0}
+    service, server = build_service(
+        graph, dataset, config, cache_on=True, batch_workers=batch_workers
+    )
+    try:
+        # One untimed pass warms the cache so both modes measure the same
+        # (mostly cache-hit) fast path, where fixed per-request costs are
+        # proportionally largest.
+        replay(server.port, dataset, queries, stream, clients=8)
+        for _ in range(rounds):
+            for enabled in (True, False):
+                (obs_trace.enable if enabled else obs_trace.disable)()
+                seconds, latencies, _, errors = replay(
+                    server.port, dataset, queries, stream, clients=8
+                )
+                if errors == 0 and seconds > 0:
+                    best[enabled] = max(best[enabled], len(latencies) / seconds)
+    finally:
+        obs_trace.enable()
+        server.close()
+        service.close()
+    overhead = (
+        (best[False] - best[True]) / best[False] if best[False] > 0 else 0.0
+    )
+    return {
+        "rounds": rounds,
+        "throughput_rps_tracing_enabled": round(best[True], 2),
+        "throughput_rps_tracing_disabled": round(best[False], 2),
+        "overhead_fraction": round(overhead, 4),
+        "max_allowed": max_overhead,
+        "ok": overhead <= max_overhead,
+    }
+
+
 def benchmark(
     *,
     dataset: str,
@@ -148,6 +207,7 @@ def benchmark(
     batch_workers: int,
     min_reduction: float,
     passes: int,
+    max_trace_overhead: float,
 ) -> Dict:
     graph = load_dataset(dataset)
     config = EstimatorConfig(backend=backend, samples=samples, rng=seed)
@@ -228,6 +288,16 @@ def benchmark(
         "ok": reduction >= min_reduction,
     }
 
+    tracing = tracing_overhead(
+        graph,
+        dataset,
+        config,
+        queries,
+        stream,
+        batch_workers=batch_workers,
+        max_overhead=max_trace_overhead,
+    )
+
     return {
         "benchmark": "service_throughput",
         "dataset": dataset,
@@ -242,6 +312,7 @@ def benchmark(
         "python": platform.python_version(),
         "runs": runs,
         "cache_effectiveness": effectiveness,
+        "tracing_overhead": tracing,
         "parity": {
             "all_equal": parity_ok,
             "reference": "engine.query(q, seed_index=0) on a fresh seeded engine",
@@ -277,6 +348,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--passes", type=int, default=2,
         help="times the stream is replayed in the effectiveness check",
     )
+    parser.add_argument(
+        "--max-trace-overhead", type=float, default=0.02,
+        help=(
+            "largest tolerated throughput deficit of tracing-enabled-but-"
+            "untraced vs tracing-disabled (fraction, default 0.02 = 2%%)"
+        ),
+    )
     parser.add_argument("--out", default="BENCH_service.json", help="output JSON path")
     parser.add_argument(
         "--quick", action="store_true",
@@ -303,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_workers=args.batch_workers,
         min_reduction=args.min_reduction,
         passes=args.passes,
+        max_trace_overhead=args.max_trace_overhead,
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
@@ -327,6 +406,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{eff['engine_evaluations_cache_on']} cached "
         f"({eff['reduction_factor']}x, need >= {eff['min_required']}x)"
     )
+    tracing = payload["tracing_overhead"]
+    print(
+        f"  tracing overhead (untraced requests): "
+        f"{tracing['throughput_rps_tracing_enabled']} req/s enabled vs "
+        f"{tracing['throughput_rps_tracing_disabled']} req/s disabled "
+        f"({tracing['overhead_fraction'] * 100:.2f}%, "
+        f"allowed <= {tracing['max_allowed'] * 100:.0f}%)"
+    )
     print(f"wrote {args.out}")
 
     if not payload["parity"]["all_equal"]:
@@ -335,6 +422,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if not eff["ok"]:
         print("error: cache + coalescer did not reduce engine evaluations enough",
+              file=sys.stderr)
+        return 1
+    if not tracing["ok"]:
+        print("error: tracing (disabled) costs more than the allowed "
+              "throughput overhead",
               file=sys.stderr)
         return 1
     return 0

@@ -35,6 +35,7 @@ from repro.datasets import available_datasets
 from repro.engine.config import EstimatorConfig
 from repro.engine.registry import available_backends
 from repro.exceptions import ReproError
+from repro.obs.trace import disable as disable_tracing
 from repro.service.catalog import DatasetSource, GraphCatalog
 
 __all__ = ["main"]
@@ -120,6 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
             "broadcasts each update to every live replica"
         ),
     )
+    parser.add_argument(
+        "--slow-query-log", type=float, default=None, metavar="SECONDS",
+        help=(
+            "pass --slow-query-log SECONDS to every replica: queries "
+            "slower than the threshold are logged and kept in each "
+            "replica's /stats (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help=(
+            "disable request tracing on the router and every replica "
+            "(X-Repro-Trace headers and 'timings' requests are ignored)"
+        ),
+    )
     return parser
 
 
@@ -185,12 +201,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             store_path = os.path.join(args.snapshot_dir, "shared_results.sqlite")
 
+        if args.no_tracing:
+            disable_tracing()
+        extra_args: List[str] = []
+        if args.allow_updates:
+            extra_args.append("--allow-updates")
+        if args.slow_query_log is not None:
+            extra_args += ["--slow-query-log", str(args.slow_query_log)]
+        if args.no_tracing:
+            extra_args.append("--no-tracing")
         supervisor = ReplicaSupervisor(
             args.snapshot_dir,
             replicas=args.replicas,
             shared_store=store_path,
             host=args.host,
-            extra_args=["--allow-updates"] if args.allow_updates else None,
+            extra_args=extra_args or None,
         )
         supervisor.start()
         router = Router(
@@ -208,8 +233,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"snapshot={args.snapshot_dir})",
         flush=True,
     )
-    for key, endpoint in sorted(supervisor.live_endpoints().items()):
-        print(f"  {key} at http://{endpoint}", flush=True)
+    for slot in supervisor.describe():
+        endpoint = slot["endpoint"]
+        where = f"at http://{endpoint}" if endpoint else "down"
+        print(f"  {slot['member']} {where}", flush=True)
 
     stop = threading.Event()
 

@@ -13,7 +13,7 @@ takes for the request to land.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Any, Callable, Dict
 
 from repro.service.client import ServiceClient
 
@@ -52,3 +52,13 @@ class ClusterClient(ServiceClient):
             max_backoff=max_backoff,
             sleep=sleep,
         )
+
+    def replica_stats(self) -> Dict[str, Dict[str, Any]]:
+        """The per-replica sections of the router's aggregated ``/stats``.
+
+        Keyed by replica slot; every section leads with its identity —
+        ``member``, ``endpoint``, supervisor ``restarts`` — ahead of the
+        replica's own service counters, so aggregated numbers remain
+        attributable to the process that produced them.
+        """
+        return self.stats().get("replicas", {})

@@ -28,6 +28,14 @@ so the router fans it out to all of them and only answers 200 when all
 of them did (replicas launched without ``--allow-updates`` answer 403,
 surfacing the read-only default).  A successful update drops the learned
 fingerprint map so routing keys re-learn the new content fingerprint.
+
+Observability: an ``X-Repro-Trace`` header (or a ``"timings": true``
+request field) rides through to the owning replica, so one trace id
+spans router → replica → engine and the replica's ``timings`` section
+comes back with the router's own forwarding span stitched in.  ``GET
+/metrics`` scrapes every live replica's exposition, re-labels each
+series with ``replica="..."``, and merges them with the router's own
+registry and forwarding counters into one Prometheus text page.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -42,6 +51,13 @@ from repro.engine.queries import query_from_dict
 from repro.exceptions import ClusterError
 from repro.cluster.ring import HashRing
 from repro.cluster.supervisor import ReplicaSupervisor
+from repro.obs import bridge, get_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+)
+from repro.obs.trace import TRACE_HEADER, new_trace, parse_header
 
 __all__ = ["Router", "RouterStats"]
 
@@ -60,6 +76,12 @@ _IO_TIMEOUT = 30.0
 
 #: Largest request body the router will buffer (mirrors the service).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Paths worth their own latency series; everything else collapses into
+#: one ``path="other"`` label so probes cannot explode the cardinality.
+_METERED_PATHS = frozenset(
+    {"/healthz", "/graphs", "/stats", "/metrics", "/query", "/query_batch", "/update"}
+)
 
 
 @dataclass
@@ -95,6 +117,10 @@ class Router:
         state dwarfs the query mix).
     forward_timeout:
         Seconds one forwarded request may take end to end.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` behind the
+        router's own series on ``GET /metrics`` (front-end latency by
+        path).  Defaults to the process-global registry.
     """
 
     def __init__(
@@ -105,6 +131,7 @@ class Router:
         port: int = 0,
         route_by: str = "query",
         forward_timeout: float = 300.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if route_by not in ("query", "graph"):
             raise ClusterError(
@@ -115,6 +142,12 @@ class Router:
         self._requested_port = port
         self._route_by = route_by
         self._forward_timeout = forward_timeout
+        self._registry = registry if registry is not None else get_registry()
+        self._request_seconds = self._registry.histogram(
+            "repro_router_request_seconds",
+            "Router front-end latency by path.",
+            labels=("path",),
+        )
         self._ring = HashRing(supervisor.keys())
         self._stats = RouterStats()
         self._stats_lock = threading.Lock()
@@ -261,11 +294,14 @@ class Router:
             if parsed is None:
                 return
         if parsed is not None:
-            method, path, body = parsed
+            method, path, body, request_headers = parsed
             with self._stats_lock:
                 self._stats.requests += 1
+            started = time.perf_counter()
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(
+                    method, path, body, request_headers
+                )
             except Exception as error:
                 with self._stats_lock:
                     self._stats.errors += 1
@@ -273,11 +309,22 @@ class Router:
                     "error": str(error),
                     "error_type": type(error).__name__,
                 }
+            metered = path.split("?", 1)[0]
+            if metered not in _METERED_PATHS:
+                metered = "other"
+            self._request_seconds.labels(path=metered).observe(
+                time.perf_counter() - started
+            )
         try:
-            blob = json.dumps(payload, default=repr).encode("utf-8")
+            if isinstance(payload, str):
+                blob = payload.encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                blob = json.dumps(payload, default=repr).encode("utf-8")
+                content_type = "application/json"
             headers = [
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(blob)}",
                 "Connection: close",
             ]
@@ -295,7 +342,7 @@ class Router:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, bytes, Dict[str, str]]]:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
@@ -304,11 +351,13 @@ class Router:
             raise ValueError(f"bad request line {request_line!r}")
         method, path = parts[0].upper(), parts[1]
         content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("ascii", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 content_length = int(value.strip())
         if content_length > MAX_BODY_BYTES:
@@ -317,36 +366,40 @@ class Router:
                 f"{MAX_BODY_BYTES}-byte limit"
             )
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return method, path, body, headers
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+        self, method: str, path: str, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Any]:
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return await self._aggregate_healthz()
         if path == "/stats" and method == "GET":
             return await self._aggregate_stats()
+        if path == "/metrics" and method == "GET":
+            return 200, await self._aggregate_metrics()
         if path == "/graphs" and method == "GET":
             return await self._forward_any("GET", "/graphs")
         if path == "/query":
             if method != "POST":
                 return 405, {"error": "/query expects POST"}
-            return await self._forward_query(body)
+            return await self._forward_query(body, headers)
         if path == "/query_batch":
             if method != "POST":
                 return 405, {"error": "/query_batch expects POST"}
-            return await self._forward_batch(body)
+            return await self._forward_batch(body, headers)
         if path == "/update":
             if method != "POST":
                 return 405, {"error": "/update expects POST"}
             return await self._forward_update(body)
         return 404, {"error": f"unknown endpoint {path!r}"}
 
-    async def _forward_query(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _forward_query(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
         try:
             payload = json.loads(body.decode("utf-8"))
             if not isinstance(payload, dict):
@@ -357,9 +410,39 @@ class Router:
         if not self._fingerprints:
             await self._refresh_fingerprints()
         key = self.routing_key(graph, payload.get("query"))
-        return await self._forward_keyed("POST", "/query", body, key)
+        # Adopt the caller's trace id (or mint one when the body asks for
+        # timings) and propagate it to the replica, so one id spans
+        # router → replica → engine.
+        trace_id = parse_header(headers.get(TRACE_HEADER.lower()))
+        trace = (
+            new_trace(trace_id)
+            if (trace_id or bool(payload.get("timings")))
+            else None
+        )
+        extra_headers = {TRACE_HEADER: trace.trace_id} if trace is not None else None
+        started = time.perf_counter()
+        status, answer = await self._forward_keyed(
+            "POST", "/query", body, key, extra_headers=extra_headers
+        )
+        if trace is not None and isinstance(answer, dict):
+            timings = answer.get("timings")
+            if isinstance(timings, dict):
+                # The replica built its trace from the forwarded id; add
+                # the router's enveloping span so the timeline shows the
+                # hop's full cost (forward + failovers + transport).
+                timings.setdefault("spans", []).insert(
+                    0,
+                    {
+                        "name": "router.forward",
+                        "start_ms": 0.0,
+                        "wall_ms": round((time.perf_counter() - started) * 1000.0, 3),
+                    },
+                )
+        return status, answer
 
-    async def _forward_batch(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _forward_batch(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
         """Scatter a batch over the ring, gather in submission order.
 
         Items are partitioned by owning replica and each partition goes
@@ -380,6 +463,8 @@ class Router:
             return 400, {"error": f"bad request body: {error}"}
         if not self._fingerprints:
             await self._refresh_fingerprints()
+        trace_id = parse_header(headers.get(TRACE_HEADER.lower()))
+        extra_headers = {TRACE_HEADER: trace_id} if trace_id else None
 
         partitions: Dict[str, List[int]] = {}
         for position, query in enumerate(queries):
@@ -401,7 +486,11 @@ class Router:
             # Failover starts from the partition's owner and walks the
             # same preference order every router would.
             status, payload = await self._forward_with_failover(
-                "POST", "/query_batch", sub_body, first=member
+                "POST",
+                "/query_batch",
+                sub_body,
+                first=member,
+                extra_headers=extra_headers,
             )
             if status == 200:
                 sub_results = payload.get("results", [])
@@ -521,7 +610,13 @@ class Router:
         return order
 
     async def _forward_keyed(
-        self, method: str, path: str, body: bytes, key: str
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        key: str,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         try:
             first = self._preferred_live(key)[0]
@@ -529,10 +624,18 @@ class Router:
             with self._stats_lock:
                 self._stats.no_replica += 1
             return 503, {"error": str(error)}
-        return await self._forward_with_failover(method, path, body, first=first)
+        return await self._forward_with_failover(
+            method, path, body, first=first, extra_headers=extra_headers
+        )
 
     async def _forward_with_failover(
-        self, method: str, path: str, body: bytes, *, first: str
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        first: str,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """Forward to ``first``, then down the live member list on failure.
 
@@ -549,7 +652,9 @@ class Router:
                 continue
             try:
                 status, payload = await asyncio.wait_for(
-                    self._http_request(endpoint, method, path, body),
+                    self._http_request(
+                        endpoint, method, path, body, extra_headers=extra_headers
+                    ),
                     self._forward_timeout,
                 )
             except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
@@ -584,9 +689,21 @@ class Router:
         return await self._forward_with_failover(method, path, body, first=first)
 
     async def _http_request(
-        self, endpoint: str, method: str, path: str, body: bytes = b""
+        self,
+        endpoint: str,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+        raw: bool = False,
     ) -> Tuple[int, Any]:
-        """One HTTP exchange with a replica (single-request connection)."""
+        """One HTTP exchange with a replica (single-request connection).
+
+        With ``raw`` the response body comes back as decoded text instead
+        of parsed JSON — the ``/metrics`` scrape path, where the replica
+        answers Prometheus text.
+        """
         host, _, port = endpoint.rpartition(":")
         reader, writer = await asyncio.open_connection(host, int(port))
         try:
@@ -595,6 +712,8 @@ class Router:
                 f"Host: {endpoint}",
                 "Connection: close",
             ]
+            for name, value in (extra_headers or {}).items():
+                lines.append(f"{name}: {value}")
             if body:
                 lines += [
                     "Content-Type: application/json",
@@ -616,11 +735,13 @@ class Router:
                 name, _, value = line.decode("ascii", "replace").partition(":")
                 if name.strip().lower() == "content-length":
                     content_length = int(value.strip())
-            raw = await reader.readexactly(content_length) if content_length else b""
+            blob = await reader.readexactly(content_length) if content_length else b""
+            if raw:
+                return status, blob.decode("utf-8", "replace")
             try:
-                payload = json.loads(raw.decode("utf-8"))
+                payload = json.loads(blob.decode("utf-8"))
             except ValueError:
-                payload = {"error": raw.decode("utf-8", "replace")}
+                payload = {"error": blob.decode("utf-8", "replace")}
             return status, payload
         finally:
             writer.close()
@@ -665,21 +786,42 @@ class Router:
 
     async def _aggregate_stats(self) -> Tuple[int, Dict[str, Any]]:
         live = self._supervisor.live_endpoints()
+        restarts = self._supervisor.restart_counts()
         per_replica: Dict[str, Any] = {}
 
         async def _collect(member: str, endpoint: str) -> None:
+            # Each replica's section leads with its identity — slot key,
+            # endpoint, supervisor respawn count — so aggregated numbers
+            # stay attributable to the process that produced them.
+            identity = {
+                "member": member,
+                "endpoint": endpoint,
+                "restarts": int(restarts.get(member, 0)),
+            }
             try:
                 status, payload = await asyncio.wait_for(
                     self._http_request(endpoint, "GET", "/stats"), _IO_TIMEOUT
                 )
                 if status == 200:
-                    per_replica[member] = payload
+                    per_replica[member] = {**identity, **payload}
+                else:
+                    per_replica[member] = {**identity, "status": f"error {status}"}
             except (OSError, asyncio.TimeoutError, ConnectionError):
-                pass
+                per_replica[member] = {**identity, "status": "unreachable"}
 
         await asyncio.gather(
             *(_collect(member, endpoint) for member, endpoint in live.items())
         )
+        for member in self._supervisor.keys():
+            per_replica.setdefault(
+                member,
+                {
+                    "member": member,
+                    "endpoint": None,
+                    "restarts": int(restarts.get(member, 0)),
+                    "status": "down",
+                },
+            )
         totals = {
             "requests": 0,
             "cache_hits": 0,
@@ -694,7 +836,64 @@ class Router:
         return 200, {
             "router": self.stats().to_dict(),
             "totals": totals,
-            "replicas": per_replica,
-            "restarts": self._supervisor.restart_counts(),
+            "replicas": dict(sorted(per_replica.items())),
+            "restarts": restarts,
             "route_by": self._route_by,
         }
+
+    async def _aggregate_metrics(self) -> str:
+        """One Prometheus text page for the whole cluster.
+
+        Scrapes every live replica's ``/metrics``, re-emits each parsed
+        series with a ``replica="<member>"`` label, and appends the
+        router's own registry plus its forwarding counters and the
+        supervisor's respawn counts.  Replicas that fail to answer or
+        serve unparseable text are skipped — a scrape must never take
+        the router down.
+        """
+        live = self._supervisor.live_endpoints()
+        scraped: Dict[str, Tuple[Any, Dict[str, str], Dict[str, str]]] = {}
+
+        async def _scrape(member: str, endpoint: str) -> None:
+            try:
+                status, text = await asyncio.wait_for(
+                    self._http_request(endpoint, "GET", "/metrics", raw=True),
+                    _IO_TIMEOUT,
+                )
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                return
+            if status != 200 or not isinstance(text, str):
+                return
+            try:
+                scraped[member] = parse_prometheus_text(text)
+            except ValueError:
+                return
+
+        await asyncio.gather(
+            *(_scrape(member, endpoint) for member, endpoint in live.items())
+        )
+        extra: List[bridge.Sample] = bridge.router_samples(
+            self.stats().to_dict(), self._supervisor.restart_counts()
+        )
+        for member in sorted(scraped):
+            samples, types, helps = scraped[member]
+            for name, labels, value in samples:
+                # Histogram component series (_bucket/_sum/_count) carry
+                # their family's TYPE line; re-emitted standalone they
+                # must go out untyped to stay valid exposition.
+                base = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in types:
+                        base = name[: -len(suffix)]
+                        break
+                kind = types.get(base, "untyped") if base == name else "untyped"
+                extra.append(
+                    (
+                        name,
+                        kind,
+                        helps.get(base, ""),
+                        {**labels, "replica": member},
+                        value,
+                    )
+                )
+        return self._registry.render(extra_samples=extra)

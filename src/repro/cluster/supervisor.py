@@ -193,6 +193,26 @@ class ReplicaSupervisor:
         with self._lock:
             return {key: handle.restarts for key, handle in self._handles.items()}
 
+    def describe(self) -> List[Dict[str, object]]:
+        """Per-slot identity snapshots: member, endpoint, liveness, respawns.
+
+        The attribution record the router's aggregated ``/stats`` and the
+        cluster CLI print — one entry per slot whether or not a process is
+        currently bound to it.
+        """
+        with self._lock:
+            return [
+                {
+                    "member": handle.key,
+                    "endpoint": (
+                        handle.address if handle.alive and handle.port else None
+                    ),
+                    "alive": bool(handle.alive and handle.port),
+                    "restarts": handle.restarts,
+                }
+                for handle in self._handles.values()
+            ]
+
     def notify_failure(self, key: str) -> None:
         """Tell the supervisor a replica misbehaved (router saw I/O errors).
 

@@ -446,7 +446,11 @@ class WallClockSinkRule(Rule):
     A fingerprint, canonical key, or cache key containing ``time.time()``
     / ``datetime.now()`` is different on every call — cache hit rates
     silently collapse and parity gates compare apples to timestamps.
-    Time belongs in *metadata* fields and injectable clocks (the pattern
+    The *monotonic* clocks (``perf_counter``, ``monotonic``,
+    ``process_time`` and their ``_ns`` variants) are just as poisonous in
+    key material — span timings and latency histograms read them freely,
+    so the rule keeps them out of fingerprints the same way.  Time
+    belongs in *metadata* fields and injectable clocks (the pattern
     :class:`repro.service.cache.ResultCache` uses: an injected
     ``clock=time.monotonic`` for TTL, never inside the key).
     """
@@ -455,9 +459,18 @@ class WallClockSinkRule(Rule):
     severity = "warning"
     summary = "wall-clock time reachable from fingerprint/cache-key/canonical-key code"
 
-    _WALL_CLOCK_ATTRS = {
-        ("time", "time"),
-        ("time", "time_ns"),
+    _CLOCK_NAMES = {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+
+    _WALL_CLOCK_ATTRS = {("time", name) for name in _CLOCK_NAMES} | {
         ("time", "localtime"),
         ("time", "ctime"),
         ("datetime", "now"),
@@ -467,7 +480,7 @@ class WallClockSinkRule(Rule):
     }
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        bare_time = _imported_names(module, "time") & {"time", "time_ns"}
+        bare_time = _imported_names(module, "time") & self._CLOCK_NAMES
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue

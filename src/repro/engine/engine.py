@@ -53,6 +53,7 @@ from repro.graph.compiled import (
     refresh_compiled_probabilities,
 )
 from repro.graph.components import GraphDecomposition, decompose_graph
+from repro.obs.trace import span
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
@@ -307,22 +308,23 @@ class ReliabilityEngine:
         :attr:`EngineStats.graphs_compiled`).  Returns ``self`` so
         construction chains: ``ReliabilityEngine(cfg).prepare(graph)``.
         """
-        key = id(graph)
-        fingerprint = graph.topology_fingerprint()
-        cached = self._cache.get(key)
-        if cached is not None and cached[2] == fingerprint:
-            self._stats.decomposition_cache_hits += 1
-        elif decomposition is not None:
-            self._cache[key] = (graph, decomposition, fingerprint)
-        else:
-            self._cache[key] = (graph, decompose_graph(graph), fingerprint)
-            self._stats.decompositions_computed += 1
-        if is_compiled_cached(graph):
-            self._stats.compiled_cache_hits += 1
-        else:
-            self._stats.graphs_compiled += 1
-        compile_graph(graph)
-        self._active = graph
+        with span("engine.prepare"):
+            key = id(graph)
+            fingerprint = graph.topology_fingerprint()
+            cached = self._cache.get(key)
+            if cached is not None and cached[2] == fingerprint:
+                self._stats.decomposition_cache_hits += 1
+            elif decomposition is not None:
+                self._cache[key] = (graph, decomposition, fingerprint)
+            else:
+                self._cache[key] = (graph, decompose_graph(graph), fingerprint)
+                self._stats.decompositions_computed += 1
+            if is_compiled_cached(graph):
+                self._stats.compiled_cache_hits += 1
+            else:
+                self._stats.graphs_compiled += 1
+            compile_graph(graph)
+            self._active = graph
         return self
 
     def compiled_graph(self, graph=None) -> CompiledGraph:
@@ -607,9 +609,10 @@ class ReliabilityEngine:
         terminals = validate_query_terminals(graph, terminals)
         rng = self._query_rng(rng, seed_index)
         decomposition = self._cache[id(graph)][1]
-        return self._backend.estimate(
-            graph, terminals, rng=rng, decomposition=decomposition
-        )
+        with span("engine.estimate"):
+            return self._backend.estimate(
+                graph, terminals, rng=rng, decomposition=decomposition
+            )
 
     def estimate_many(
         self,
@@ -702,7 +705,8 @@ class ReliabilityEngine:
             rng=resolved,
             explicit_rng=explicit,
         )
-        return query._execute(context)
+        with span("engine.query:" + query.kind):
+            return query._execute(context)
 
     def query_many(
         self,

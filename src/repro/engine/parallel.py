@@ -49,6 +49,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -57,6 +58,7 @@ from repro.engine.config import EstimatorConfig
 from repro.engine.queries import pooled_backend_estimation
 from repro.engine.worlds import chunk_spans, sample_world_chunks
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import current_trace
 
 __all__ = [
     "ExecutionPlan",
@@ -250,7 +252,12 @@ def _sample_chunk_group(payload: Tuple) -> List[Tuple[int, List[Tuple[int, ...]]
 
 def _run_shard(
     payload: Tuple,
-) -> Tuple[List[Tuple[int, Any]], Dict[str, int], Optional[Tuple[int, BaseException, int]]]:
+) -> Tuple[
+    List[Tuple[int, Any]],
+    Dict[str, int],
+    Optional[Tuple[int, BaseException, int]],
+    Dict[str, float],
+]:
     """Phase-B task: answer one shard's queries on a rebuilt session.
 
     The worker reconstructs the parent session — same config (with
@@ -260,14 +267,18 @@ def _run_shard(
     assigned seed index (the submission index by default; an explicit
     schedule position when the caller passed ``seed_indices``).  It
     returns the position-tagged results, the :class:`EngineStats` delta
-    its queries accumulated, and — when a query raised — a ``(position,
-    exception, seeds_consumed)`` triple describing the first failure (the
-    shard stops there, exactly as a serial batch would stop at its first
-    failing query).
+    its queries accumulated, a ``(position, exception, seeds_consumed)``
+    triple describing the first failure when a query raised (the shard
+    stops there, exactly as a serial batch would stop at its first
+    failing query), and the shard's wall/CPU timing — stitched into the
+    parent's active trace as a ``parallel.shard[...]`` span and never
+    entering any result payload, seed, or checksum.
     """
     mode, config, base_seed, graph, decomposition, items, pools = payload
     from repro.engine.engine import ReliabilityEngine
 
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     engine = ReliabilityEngine(config)
     engine._base_seed = base_seed
     if decomposition is not None:
@@ -294,7 +305,12 @@ def _run_shard(
             break
         results.append((position, result))
     delta = engine.stats.since(baseline)
-    return results, dataclasses.asdict(delta), failure
+    timing = {
+        "wall_seconds": time.perf_counter() - wall_start,
+        "cpu_seconds": time.process_time() - cpu_start,
+        "queries": float(len(results)),
+    }
+    return results, dataclasses.asdict(delta), failure, timing
 
 
 # ----------------------------------------------------------------------
@@ -452,13 +468,24 @@ def execute_batch(
                         (mode, config, engine._base_seed, graph, decomposition, shard_items, pools),
                     )
                 )
-            for future in futures:
-                pairs, delta, failure = future.result()
+            trace = current_trace()
+            for shard_index, future in enumerate(futures):
+                pairs, delta, failure, timing = future.result()
                 for position, result in pairs:
                     results[position] = result
                 deltas.append(delta)
                 if failure is not None:
                     failures.append(failure)
+                if trace is not None:
+                    # Stitch the worker's timing into the request trace
+                    # alongside the stats merge; contextvars do not cross
+                    # process boundaries, so the shard reports raw numbers
+                    # and the parent attaches the span.
+                    trace.add_span(
+                        f"parallel.shard[{shard_index}]",
+                        wall_seconds=timing.get("wall_seconds", 0.0),
+                        cpu_seconds=timing.get("cpu_seconds", 0.0),
+                    )
     except BaseException:
         # Setup or transport failed before any per-query accounting was
         # possible: release the whole reservation.

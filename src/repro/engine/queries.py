@@ -461,6 +461,13 @@ class ThresholdResult(QueryResult):
         Worlds examined (pooled path) or samples drawn (backend path).
     early_exit:
         Whether the pooled scan stopped before exhausting the pool.
+    elapsed_seconds:
+        Wall-clock evaluation time of this answer.  Like every timing
+        field it is excluded from ``results_checksum`` (see
+        :data:`~repro.engine.parallel.TIMING_FIELDS`) and defaults to
+        ``0.0`` when absent from older wire payloads — historically the
+        early-exit path reported no timing at all, which left threshold
+        rows blank in experiment footers.
     """
 
     kind: ClassVar[str] = "threshold"
@@ -472,6 +479,7 @@ class ThresholdResult(QueryResult):
     certified: bool
     samples_used: int
     early_exit: bool
+    elapsed_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -483,6 +491,7 @@ class ThresholdResult(QueryResult):
             "certified": self.certified,
             "samples_used": self.samples_used,
             "early_exit": self.early_exit,
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -519,6 +528,7 @@ class ThresholdQuery(Query):
     def _execute(self, context: QueryContext) -> ThresholdResult:
         terminals = validate_query_terminals(context.graph, self.terminals)
         engine = context.engine
+        timer = Timer().start()
         if _pooled_estimation(context):
             pool = context.world_pool()
             scan = pool.threshold_scan(terminals, self.threshold)
@@ -530,6 +540,7 @@ class ThresholdQuery(Query):
                 certified=False,
                 samples_used=scan.examined,
                 early_exit=scan.early_exit,
+                elapsed_seconds=timer.stop(),
             )
         estimate = engine.backend.estimate(
             context.graph,
@@ -549,6 +560,7 @@ class ThresholdQuery(Query):
             certified=certified,
             samples_used=estimate.samples_used,
             early_exit=False,
+            elapsed_seconds=timer.stop(),
         )
 
 
@@ -567,6 +579,7 @@ class ReliabilitySearchResult(QueryResult):
     vertices: Tuple[Vertex, ...]
     probabilities: Dict[Vertex, float]
     samples_used: int
+    elapsed_seconds: float = 0.0
 
     def probability(self, vertex: Vertex) -> float:
         """Estimated probability that ``vertex`` connects to the sources."""
@@ -580,6 +593,7 @@ class ReliabilitySearchResult(QueryResult):
             "vertices": list(self.vertices),
             "probabilities": _pairs(self.probabilities),
             "samples_used": self.samples_used,
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -591,6 +605,7 @@ class ReliabilitySearchResult(QueryResult):
             vertices=tuple(data["vertices"]),
             probabilities={vertex: value for vertex, value in data["probabilities"]},
             samples_used=data["samples_used"],
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
         )
 
 
@@ -627,6 +642,7 @@ class ReliabilitySearchQuery(Query):
 
     def _execute(self, context: QueryContext) -> ReliabilitySearchResult:
         sources = validate_query_terminals(context.graph, self.sources, role="source")
+        timer = Timer().start()
         pool = context.world_pool(self.samples)
         frequencies = pool.reachability_frequencies(sources)
 
@@ -654,6 +670,7 @@ class ReliabilitySearchQuery(Query):
             vertices=qualifying,
             probabilities=frequencies,
             samples_used=pool.num_worlds,
+            elapsed_seconds=timer.stop(),
         )
 
 
@@ -671,6 +688,7 @@ class TopKReliableVerticesResult(QueryResult):
     k: int
     ranking: Tuple[Tuple[Vertex, float], ...]
     samples_used: int
+    elapsed_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -679,6 +697,7 @@ class TopKReliableVerticesResult(QueryResult):
             "k": self.k,
             "ranking": [[vertex, value] for vertex, value in self.ranking],
             "samples_used": self.samples_used,
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -689,6 +708,7 @@ class TopKReliableVerticesResult(QueryResult):
             k=data["k"],
             ranking=tuple((vertex, value) for vertex, value in data["ranking"]),
             samples_used=data["samples_used"],
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
         )
 
 
@@ -712,6 +732,7 @@ class TopKReliableVerticesQuery(Query):
 
     def _execute(self, context: QueryContext) -> TopKReliableVerticesResult:
         sources = validate_query_terminals(context.graph, self.sources, role="source")
+        timer = Timer().start()
         pool = context.world_pool(self.samples)
         frequencies = pool.reachability_frequencies(sources)
         ranked = sorted(
@@ -727,6 +748,7 @@ class TopKReliableVerticesQuery(Query):
             k=self.k,
             ranking=tuple(ranked[: self.k]),
             samples_used=pool.num_worlds,
+            elapsed_seconds=timer.stop(),
         )
 
 
@@ -747,6 +769,7 @@ class ReliableSubgraphResult(QueryResult):
     expansions: int
     evaluations: int
     history: List[Tuple[Vertex, float]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
 
     @property
     def size(self) -> int:
@@ -763,6 +786,7 @@ class ReliableSubgraphResult(QueryResult):
             "expansions": self.expansions,
             "evaluations": self.evaluations,
             "history": [[vertex, value] for vertex, value in self.history],
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -804,6 +828,7 @@ def greedy_reliable_subgraph(
     :func:`repro.analysis.find_reliable_subgraph` still accepts arbitrary
     callables.
     """
+    timer = Timer().start()
     threshold = check_probability(threshold, "threshold")
     query = validate_query_terminals(graph, query_vertices, role="query vertex")
     if max_size is not None and max_size < len(query):
@@ -850,6 +875,7 @@ def greedy_reliable_subgraph(
         expansions=expansions,
         evaluations=evaluations,
         history=history,
+        elapsed_seconds=timer.stop(),
     )
 
 
@@ -912,6 +938,9 @@ class ReliabilityClustering(QueryResult):
         connected to its assigned centre.
     samples_used:
         Number of pooled possible worlds shared by all estimates.
+    elapsed_seconds:
+        Wall-clock evaluation time (checksum-excluded; defaults to ``0.0``
+        on older wire payloads).
     """
 
     kind: ClassVar[str] = "clustering"
@@ -920,6 +949,7 @@ class ReliabilityClustering(QueryResult):
     assignment: Dict[Vertex, Vertex]
     connection_probability: Dict[Vertex, float]
     samples_used: int
+    elapsed_seconds: float = 0.0
 
     @property
     def num_clusters(self) -> int:
@@ -947,6 +977,7 @@ class ReliabilityClustering(QueryResult):
             "assignment": _pairs(self.assignment),
             "connection_probability": _pairs(self.connection_probability),
             "samples_used": self.samples_used,
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -959,6 +990,7 @@ class ReliabilityClustering(QueryResult):
                 vertex: value for vertex, value in data["connection_probability"]
             },
             samples_used=data["samples_used"],
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
         )
 
 
@@ -996,6 +1028,7 @@ class ClusteringQuery(Query):
                 f"cannot form {self.num_clusters} clusters from "
                 f"{graph.num_vertices} vertices"
             )
+        timer = Timer().start()
         pool = context.world_pool(self.samples)
         connection_probability = pool.pair_connectivity
         vertices = sorted(graph.vertices(), key=repr)
@@ -1033,6 +1066,7 @@ class ClusteringQuery(Query):
             assignment=assignment,
             connection_probability=connection,
             samples_used=pool.num_worlds,
+            elapsed_seconds=timer.stop(),
         )
 
 

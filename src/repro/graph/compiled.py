@@ -52,6 +52,7 @@ from typing import (
 )
 
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import span
 
 if TYPE_CHECKING:
     from random import Random
@@ -564,7 +565,8 @@ def compile_graph(graph: "UncertainGraph") -> CompiledGraph:
     entry = _CACHE.get(graph)
     if entry is not None and entry[0] == fingerprint:
         return entry[1]
-    compiled = CompiledGraph(graph)
+    with span("kernel.compile"):
+        compiled = CompiledGraph(graph)
     _CACHE[graph] = (fingerprint, compiled)
     return compiled
 

@@ -1,0 +1,196 @@
+"""``repro-obs`` — pretty-print and diff metrics snapshots.
+
+Usage::
+
+    repro-obs show http://127.0.0.1:8350/metrics
+    repro-obs show metrics.txt
+    repro-obs show --json stats.json
+    repro-obs diff before.txt after.txt
+    repro-obs diff http://127.0.0.1:8350/metrics http://127.0.0.1:8360/metrics
+
+``show`` renders one snapshot as an aligned table; ``diff`` compares two
+(the second minus the first), printing only series that changed or
+appeared — the quickest way to see what one request, one benchmark run,
+or one deploy actually did to the counters.  Sources may be URLs
+(fetched with stdlib :mod:`http.client`), Prometheus text files, or
+JSON snapshots in the :meth:`MetricsRegistry.to_dict` shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.obs.metrics import parse_prometheus_text
+
+__all__ = ["main"]
+
+SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _fetch_url(url: str, timeout: float) -> str:
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http:// URLs are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    path = parts.path or "/metrics"
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8", "replace")
+        if response.status != 200:
+            raise ValueError(f"{url} answered {response.status}: {body[:200]}")
+        return body
+    finally:
+        connection.close()
+
+
+def _load_source(source: str, timeout: float) -> str:
+    if source.startswith("http://") or source.startswith("https://"):
+        return _fetch_url(source, timeout)
+    with open(source, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _samples_from_json(snapshot: Dict[str, Any]) -> Dict[SampleKey, float]:
+    """Flatten a ``MetricsRegistry.to_dict`` snapshot into keyed samples."""
+    samples: Dict[SampleKey, float] = {}
+    # Output is a keyed dict the CLI sorts before printing; iteration
+    # order here never reaches the user.
+    for name, entry in snapshot.items():  # reprolint: ok(ORD001)
+        for value in entry.get("values", []):
+            labels = tuple(sorted((value.get("labels") or {}).items()))
+            if "value" in value:
+                samples[(name, labels)] = float(value["value"])
+            else:  # histogram: surface count and sum; buckets stay internal
+                samples[(f"{name}_count", labels)] = float(value.get("count", 0))
+                samples[(f"{name}_sum", labels)] = float(value.get("sum", 0.0))
+    return samples
+
+
+def load_samples(source: str, *, timeout: float = 10.0) -> Dict[SampleKey, float]:
+    """Samples from a URL or file, auto-detecting JSON vs Prometheus text."""
+    text = _load_source(source, timeout)
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return _samples_from_json(json.loads(text))
+    samples, _, _ = parse_prometheus_text(text)
+    return {
+        (name, tuple(sorted(labels.items()))): value
+        for name, labels, value in samples
+    }
+
+
+def _format_key(key: SampleKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{label}="{value}"' for label, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _print_table(rows: List[Tuple[str, str]], out) -> None:
+    width = max((len(left) for left, _ in rows), default=0)
+    for left, right in rows:
+        print(f"{left.ljust(width)}  {right}", file=out)
+
+
+def _cmd_show(args: argparse.Namespace, out) -> int:
+    samples = load_samples(args.source, timeout=args.timeout)
+    rows = [
+        (_format_key(key), _format_number(value))
+        for key, value in sorted(samples.items())
+        if args.filter in key[0]
+    ]
+    if not rows:
+        print("(no matching samples)", file=out)
+        return 0
+    _print_table(rows, out)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace, out) -> int:
+    before = load_samples(args.before, timeout=args.timeout)
+    after = load_samples(args.after, timeout=args.timeout)
+    rows: List[Tuple[str, str]] = []
+    for key in sorted(set(before) | set(after)):
+        if args.filter not in key[0]:
+            continue
+        old = before.get(key)
+        new = after.get(key)
+        if old == new and not args.all:
+            continue
+        if old is None:
+            rows.append((_format_key(key), f"(new) {_format_number(new)}"))
+        elif new is None:
+            rows.append((_format_key(key), f"{_format_number(old)} (gone)"))
+        else:
+            delta = new - old
+            sign = "+" if delta >= 0 else ""
+            rows.append(
+                (
+                    _format_key(key),
+                    f"{_format_number(old)} -> {_format_number(new)} "
+                    f"({sign}{_format_number(delta)})",
+                )
+            )
+    if not rows:
+        print("(no differences)", file=out)
+        return 0
+    _print_table(rows, out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Pretty-print and diff repro metrics snapshots.",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, help="URL fetch timeout (seconds)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    show = sub.add_parser("show", help="render one snapshot as a table")
+    show.add_argument("source", help="URL, Prometheus text file, or JSON snapshot")
+    show.add_argument(
+        "--filter", default="", metavar="SUBSTR",
+        help="only samples whose metric name contains SUBSTR",
+    )
+    diff = sub.add_parser("diff", help="compare two snapshots (after minus before)")
+    diff.add_argument("before", help="baseline URL or file")
+    diff.add_argument("after", help="comparison URL or file")
+    diff.add_argument(
+        "--filter", default="", metavar="SUBSTR",
+        help="only samples whose metric name contains SUBSTR",
+    )
+    diff.add_argument(
+        "--all", action="store_true", help="also print unchanged samples"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            return _cmd_show(args, sys.stdout)
+        return _cmd_diff(args, sys.stdout)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

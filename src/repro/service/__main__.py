@@ -35,6 +35,7 @@ from repro.engine.registry import available_backends
 from repro.exceptions import ReproError
 from repro.service.cache import DEFAULT_MAX_BYTES, ResultCache
 from repro.service.catalog import DatasetSource, FileSource, GraphCatalog
+from repro.obs.trace import SlowQueryLog, disable as disable_tracing
 from repro.service.core import ReliabilityService
 from repro.service.server import ServiceServer
 from repro.service.store import SharedResultStore
@@ -134,6 +135,21 @@ def build_parser() -> argparse.ArgumentParser:
             "the same snapshot)"
         ),
     )
+    parser.add_argument(
+        "--slow-query-log", type=float, default=None, metavar="SECONDS",
+        help=(
+            "warn on queries slower than SECONDS and keep the most recent "
+            "ones in /stats under 'slow_queries' (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help=(
+            "refuse request tracing process-wide: X-Repro-Trace headers "
+            "and 'timings' requests are ignored (answers are unchanged)"
+        ),
+    )
     return parser
 
 
@@ -141,6 +157,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Build the catalog, start the server, serve until interrupted."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.slow_query_log is not None and args.slow_query_log <= 0:
+        print(
+            f"error: --slow-query-log must be > 0 seconds, got {args.slow_query_log}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_tracing:
+        disable_tracing()
     try:
         if args.snapshot is not None:
             overridden = [
@@ -198,6 +222,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             batch_workers=args.workers,
             max_batch=args.max_batch,
             allow_updates=allow_updates,
+            slow_query_log=(
+                SlowQueryLog(args.slow_query_log)
+                if args.slow_query_log is not None
+                else None
+            ),
         )
         server = ServiceServer(
             service,

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro.engine.deltas import DeltaOp
 from repro.engine.queries import Query, QueryResult, result_from_dict
 from repro.exceptions import ReproError
+from repro.obs.trace import TRACE_HEADER
 
 __all__ = [
     "ServiceClient",
@@ -168,11 +169,31 @@ class ServiceClient:
         """The counters of ``GET /stats``."""
         return self._request("GET", "/stats")
 
-    def query(self, graph: str, query: QueryLike) -> ServiceResponse:
-        """Answer one query on the named graph."""
-        payload = self._request(
-            "POST", "/query", {"graph": graph, "query": _query_dict(query)}
-        )
+    def metrics(self) -> str:
+        """The Prometheus text exposition of ``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def query(
+        self,
+        graph: str,
+        query: QueryLike,
+        *,
+        timings: bool = False,
+        trace_id: Optional[str] = None,
+    ) -> ServiceResponse:
+        """Answer one query on the named graph.
+
+        ``timings=True`` asks the server for the per-stage ``"timings"``
+        section (available on ``response.raw["timings"]``); ``trace_id``
+        pins the request's trace id — propagated in the
+        ``X-Repro-Trace`` header, so one id follows the request across
+        hops.
+        """
+        body = {"graph": graph, "query": _query_dict(query)}
+        if timings:
+            body["timings"] = True
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        payload = self._request("POST", "/query", body, extra_headers=headers)
         return ServiceResponse.from_payload(payload)
 
     def query_batch(
@@ -213,8 +234,13 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Any:
         """One logical request: a 429 is retried up to ``max_retries`` times.
 
         Safe to retry unconditionally: every endpoint routed through here
@@ -225,7 +251,9 @@ class ServiceClient:
         """
         for attempt in range(self._max_retries + 1):
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(
+                    method, path, body, extra_headers=extra_headers
+                )
             except ServiceOverloadedError as error:
                 if attempt >= self._max_retries:
                     raise
@@ -236,21 +264,34 @@ class ServiceClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_once(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Any:
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
         try:
             blob = json.dumps(body).encode("utf-8") if body is not None else None
             headers = {"Content-Type": "application/json"} if blob else {}
+            if extra_headers:
+                headers.update(extra_headers)
             connection.request(method, path, body=blob, headers=headers)
             response = connection.getresponse()
             raw = response.read()
+            text = raw.decode("utf-8", "replace")
+            content_type = response.getheader("Content-Type", "")
+            if response.status == 200 and not content_type.startswith(
+                "application/json"
+            ):
+                return text  # /metrics answers Prometheus text, not JSON
             try:
                 payload = json.loads(raw.decode("utf-8"))
             except ValueError:
-                payload = {"error": raw.decode("utf-8", "replace")}
+                payload = {"error": text}
             if response.status == 429:
                 raise ServiceOverloadedError(
                     response.status,

@@ -23,6 +23,7 @@ on 4 worker processes.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import asdict, dataclass
@@ -79,6 +80,11 @@ class SingleFlightBatcher:
     max_batch:
         Largest batch one evaluator call may receive; a bigger drain is
         split across consecutive calls.
+    registry:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, every drained batch observes its size and evaluation
+        latency into ``repro_coalesce_batch_size`` /
+        ``repro_coalesce_batch_seconds`` histograms.
 
     Notes
     -----
@@ -90,10 +96,24 @@ class SingleFlightBatcher:
     wants.
     """
 
-    def __init__(self, evaluate: Evaluator, *, max_batch: int = 64) -> None:
+    def __init__(
+        self, evaluate: Evaluator, *, max_batch: int = 64, registry: Any = None
+    ) -> None:
         check_positive_int(max_batch, "max_batch")
         self._evaluate = evaluate
         self._max_batch = max_batch
+        self._batch_size_histogram = None
+        self._batch_seconds_histogram = None
+        if registry is not None:
+            self._batch_size_histogram = registry.histogram(
+                "repro_coalesce_batch_size",
+                "Requests per drained micro-batch.",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            )
+            self._batch_seconds_histogram = registry.histogram(
+                "repro_coalesce_batch_seconds",
+                "Evaluator latency per drained micro-batch.",
+            )
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: "OrderedDict[str, List[Tuple[Hashable, Any, Future]]]" = (
@@ -155,6 +175,7 @@ class SingleFlightBatcher:
     def _deliver(
         self, group: str, batch: List[Tuple[Hashable, Any, Future]]
     ) -> None:
+        started = time.perf_counter()
         try:
             outcomes = self._evaluate(group, [(key, request) for key, request, _ in batch])
             if len(outcomes) != len(batch):
@@ -164,6 +185,9 @@ class SingleFlightBatcher:
                 )
         except Exception as error:
             outcomes = [error] * len(batch)
+        if self._batch_size_histogram is not None:
+            self._batch_size_histogram.observe(len(batch))
+            self._batch_seconds_histogram.observe(time.perf_counter() - started)
         for (key, _, future), outcome in zip(batch, outcomes):
             with self._lock:
                 self._inflight.pop(key, None)

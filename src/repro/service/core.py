@@ -32,10 +32,13 @@ from repro.engine.deltas import DeltaOp
 from repro.engine.parallel import results_checksum
 from repro.engine.queries import Query, query_from_dict
 from repro.exceptions import ConfigurationError, UpdateRejectedError
+from repro.obs import get_registry
+from repro.obs.trace import SlowQueryLog, activate, current_trace, new_trace, span
 from repro.service.cache import ResultCache, cache_key
 from repro.service.catalog import GraphCatalog
 from repro.service.coalesce import SingleFlightBatcher
 from repro.service.store import SharedResultStore
+from repro.utils.timers import Timer
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ReliabilityService", "ServiceStats"]
@@ -101,6 +104,16 @@ class ReliabilityService:
         prepared state was checksum-verified against the snapshot, and an
         in-place update would silently diverge sibling replicas warmed
         from the same snapshot.
+    slow_query_log:
+        An optional :class:`~repro.obs.trace.SlowQueryLog`; every
+        :meth:`query` slower than its threshold is logged (with its trace
+        id when one is active) and surfaced in :meth:`stats` under
+        ``"slow_queries"``.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the coalescer
+        records its batch-size/latency histograms into.  Defaults to the
+        process-global registry (so ``GET /metrics`` sees them); tests
+        pass a private one.
     """
 
     def __init__(
@@ -112,6 +125,8 @@ class ReliabilityService:
         batch_workers: int = 1,
         max_batch: int = 64,
         allow_updates: bool = True,
+        slow_query_log: Optional[SlowQueryLog] = None,
+        registry: Any = None,
     ) -> None:
         check_positive_int(batch_workers, "batch_workers")
         self._catalog = catalog
@@ -128,7 +143,12 @@ class ReliabilityService:
         # never land between a batch's evaluation and its cache writes, or
         # post-delta results would be stored under the pre-delta key.
         self._update_lock = threading.Lock()
-        self._batcher = SingleFlightBatcher(self._evaluate_group, max_batch=max_batch)
+        self._slow_query_log = slow_query_log
+        self._batcher = SingleFlightBatcher(
+            self._evaluate_group,
+            max_batch=max_batch,
+            registry=registry if registry is not None else get_registry(),
+        )
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -154,7 +174,7 @@ class ReliabilityService:
         per-graph engine counters (including ``world_pools_evicted``)."""
         with self._stats_lock:
             service = self._stats.to_dict()
-        return {
+        payload = {
             "service": service,
             "cache": self._cache.stats().to_dict() if self._cache is not None else None,
             "shared_store": (
@@ -164,6 +184,9 @@ class ReliabilityService:
             "engines": self._catalog.engine_stats(),
             "config_fingerprint": self._config_fingerprint,
         }
+        if self._slow_query_log is not None:
+            payload["slow_queries"] = self._slow_query_log.snapshot()
+        return payload
 
     def describe_graphs(self) -> List[Dict[str, Any]]:
         """The ``/graphs`` payload."""
@@ -173,7 +196,12 @@ class ReliabilityService:
     # Queries
     # ------------------------------------------------------------------
     def query(
-        self, graph: str, query: QueryLike, *, timeout: Optional[float] = None
+        self,
+        graph: str,
+        query: QueryLike,
+        *,
+        timeout: Optional[float] = None,
+        timings: bool = False,
     ) -> Dict[str, Any]:
         """Answer one query on the named graph; returns the JSON payload.
 
@@ -181,22 +209,50 @@ class ReliabilityService:
         in-flight requests and ride the next micro-batch.  Evaluation
         errors (unknown graph, invalid terminals, ...) re-raise here —
         the HTTP layer maps them to 4xx responses.
+
+        With ``timings=True`` and an active trace (see
+        :func:`repro.obs.trace.activate`) the response carries an
+        opt-in ``"timings"`` section: the trace id and per-stage
+        wall/CPU spans, including the evaluation spans stitched over
+        from the batcher thread.  Timing data stays response metadata —
+        the cached payload and its checksum never contain it.
         """
         with self._stats_lock:
             self._stats.requests += 1
+        timer = Timer().start()
+        trace = current_trace()
+        kind = "?"
+        cached = False
         try:
-            request = self._prepare(graph, query)
-            payload, tier = self._lookup(request.key)
+            with span("service.lookup"):
+                request = self._prepare(graph, query)
+                kind = request.query.kind
+                payload, tier = self._lookup(request.key)
             if payload is not None:
                 self._count_hit(tier)
-                return self._respond(payload, tier=tier, graph=graph)
-            future = self._batcher.submit(graph, request.key, request.query)
-            payload = future.result(timeout=timeout)
+                cached = True
+                response = self._respond(payload, tier=tier, graph=graph)
+            else:
+                future = self._batcher.submit(graph, request.key, request.query)
+                with span("service.wait"):
+                    payload = future.result(timeout=timeout)
+                response = self._respond(payload, tier=None, graph=graph)
         except Exception:
             with self._stats_lock:
                 self._stats.errors += 1
             raise
-        return self._respond(payload, tier=None, graph=graph)
+        elapsed = timer.stop()
+        if self._slow_query_log is not None:
+            self._slow_query_log.record(
+                graph=graph,
+                kind=kind,
+                elapsed_seconds=elapsed,
+                trace_id=trace.trace_id if trace is not None else None,
+                cached=cached,
+            )
+        if timings and trace is not None:
+            response["timings"] = trace.to_dict()
+        return response
 
     def query_batch(
         self,
@@ -395,6 +451,14 @@ class ReliabilityService:
         # cache key is content-based, so a hit may have been computed under
         # a different catalog name for the same graph.
         response = copy.deepcopy(payload)
+        # Evaluation spans measured on the batcher thread ride the outcome
+        # (never the cached payload); stitch them into this request's trace
+        # and drop them from the JSON response.
+        spans = response.pop("_spans", None)
+        if spans:
+            trace = current_trace()
+            if trace is not None:
+                trace.extend(spans)
         response["cached"] = tier is not None
         response["cache_tier"] = tier
         response["graph"] = graph
@@ -424,22 +488,29 @@ class ReliabilityService:
         fingerprint = self._catalog.entry(group).fingerprint
         queries = [request for _, request in items]
         before = engine.stats.queries_served
+        # Evaluation runs on the batcher thread, outside any request's
+        # context; it collects spans under its own trace and hands them to
+        # every waiter through the outcome (the cached payload stays free
+        # of timing data).
+        batch_trace = new_trace()
         results: Optional[List[Any]] = None
-        try:
-            results = engine.query_many(
-                queries,
-                workers=self._batch_workers,
-                seed_indices=[0] * len(queries),
-            )
-        except Exception:
-            results = None
-        if results is None:
-            results = []
-            for query in queries:
-                try:
-                    results.append(engine.query(query, seed_index=0))
-                except Exception as error:
-                    results.append(error)
+        with activate(batch_trace):
+            try:
+                results = engine.query_many(
+                    queries,
+                    workers=self._batch_workers,
+                    seed_indices=[0] * len(queries),
+                )
+            except Exception:
+                results = None
+            if results is None:
+                results = []
+                for query in queries:
+                    try:
+                        results.append(engine.query(query, seed_index=0))
+                    except Exception as error:
+                        results.append(error)
+        spans = batch_trace.spans() if batch_trace is not None else []
         # Count real engine work, not intent: the fallback path re-runs a
         # failed batch query by query, and the engine's own counter is the
         # one source that sees both attempts.
@@ -467,7 +538,7 @@ class ReliabilityService:
                 self._cache.put(key, payload)
             if self._store is not None:
                 self._store.put(key, payload)
-            outcomes.append(payload)
+            outcomes.append({**payload, "_spans": spans} if spans else payload)
         return outcomes
 
 

@@ -10,10 +10,18 @@ endpoints, all speaking the existing wire formats
 ``GET /healthz``           liveness probe (name, registered graph count)
 ``GET /graphs``            the catalog: names, fingerprints, versions
 ``GET /stats``             service + cache + coalescer + engine counters
+``GET /metrics``           Prometheus text exposition (registry + the
+                           ``/stats`` families via :mod:`repro.obs.bridge`)
 ``POST /query``            ``{"graph": name, "query": Query.to_dict()}``
 ``POST /query_batch``      ``{"graph": name, "queries": [...]}``
 ``POST /update``           ``{"graph": name, "delta": DeltaOp.to_dict()}``
 =========================  =============================================
+
+Requests may carry an ``X-Repro-Trace`` header (a hex trace id); traced
+``/query`` requests run under a :class:`~repro.obs.trace.Trace` and —
+when the body asks with ``{"timings": true}`` — answer with a per-stage
+``"timings"`` section.  Without the header a fresh trace id is minted
+for timing-requesting bodies, so ``timings`` works standalone too.
 
 Evaluation runs on a bounded thread pool (``max_inflight`` threads) so
 the asyncio loop never blocks on engine work; requests beyond the pool
@@ -35,11 +43,15 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, ReproError, UpdateRejectedError
+from repro.obs import bridge, get_registry
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.trace import TRACE_HEADER, new_trace, parse_header, run_with_trace
 from repro.service.core import ReliabilityService
 from repro.utils.validation import check_positive_int
 
@@ -58,6 +70,11 @@ _REASONS = {
 
 #: Per-connection read timeout (seconds) for headers and body.
 _IO_TIMEOUT = 30.0
+
+#: Paths metered under their own label; everything else is "other".
+_METERED_PATHS = frozenset(
+    {"/healthz", "/graphs", "/stats", "/metrics", "/query", "/query_batch", "/update"}
+)
 
 #: Largest request body the server will buffer (a query batch of
 #: thousands of queries fits in a fraction of this); bigger declared
@@ -100,6 +117,13 @@ class ServiceServer:
     request_timeout:
         Upper bound (seconds) one query request may spend waiting on the
         service before answering 500.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` backing
+        ``GET /metrics``; defaults to the process-global one.  The
+        server records per-path request latencies and response counts
+        into it; the legacy ``/stats`` families are bridged in at scrape
+        time (see :mod:`repro.obs.bridge`), so both endpoints always
+        agree.
     """
 
     def __init__(
@@ -111,6 +135,7 @@ class ServiceServer:
         max_inflight: int = 8,
         queue_limit: int = 32,
         request_timeout: float = 300.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         check_positive_int(max_inflight, "max_inflight")
         if queue_limit < 0:
@@ -126,6 +151,17 @@ class ServiceServer:
         self._admission = AdmissionStats()
         self._pending = 0
         self._admission_lock = threading.Lock()
+        self._registry = registry if registry is not None else get_registry()
+        self._request_seconds = self._registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock latency of handled HTTP requests.",
+            labels=("path",),
+        )
+        self._responses_total = self._registry.counter(
+            "repro_http_responses_total",
+            "HTTP responses by path and status code.",
+            labels=("path", "status"),
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -240,9 +276,13 @@ class ServiceServer:
             if parsed is None:
                 return  # client closed without sending a request
         if parsed is not None:
-            method, path, body = parsed
+            method, path, body, request_headers = parsed
+            route = path.split("?", 1)[0]
+            started = time.perf_counter()
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(
+                    method, path, body, request_headers
+                )
             except Exception as error:
                 # Parse errors above are the client's fault (400); anything
                 # escaping the routing layer is ours (500).
@@ -250,11 +290,23 @@ class ServiceServer:
                     "error": str(error),
                     "error_type": type(error).__name__,
                 }
+            # Unknown paths collapse into one label so a scanner cannot
+            # blow up the metric's cardinality.
+            label = route if route in _METERED_PATHS else "other"
+            self._request_seconds.labels(path=label).observe(
+                time.perf_counter() - started
+            )
+            self._responses_total.labels(path=label, status=str(status)).inc()
         try:
-            blob = json.dumps(payload, default=repr).encode("utf-8")
+            if isinstance(payload, str):  # text exposition (/metrics)
+                blob = payload.encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                blob = json.dumps(payload, default=repr).encode("utf-8")
+                content_type = "application/json"
             headers = [
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(blob)}",
                 "Connection: close",
             ]
@@ -274,7 +326,7 @@ class ServiceServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, bytes, Dict[str, str]]]:
         request_line = await reader.readline()
         if not request_line.strip():
             return None
@@ -283,12 +335,15 @@ class ServiceServer:
             raise ValueError(f"bad request line {request_line!r}")
         method, path = parts[0].upper(), parts[1]
         content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("ascii", "replace").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            headers[name] = value.strip()
+            if name == "content-length":
                 content_length = int(value.strip())
         if content_length > MAX_BODY_BYTES:
             raise _BodyTooLarge(
@@ -296,14 +351,14 @@ class ServiceServer:
                 f"{MAX_BODY_BYTES}-byte limit"
             )
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return method, path, body, headers
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+        self, method: str, path: str, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Any]:
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return 200, {
@@ -316,15 +371,28 @@ class ServiceServer:
             stats = self._service.stats()
             stats["admission"] = self._admission_snapshot()
             return 200, stats
+        if path == "/metrics" and method == "GET":
+            return 200, self._render_metrics()
         if path in ("/query", "/query_batch"):
             if method != "POST":
                 return 405, {"error": f"{path} expects POST"}
-            return await self._handle_query(path, body)
+            return await self._handle_query(path, body, headers)
         if path == "/update":
             if method != "POST":
                 return 405, {"error": f"{path} expects POST"}
             return await self._handle_update(body)
         return 404, {"error": f"unknown endpoint {path!r}"}
+
+    def _render_metrics(self) -> str:
+        """The ``GET /metrics`` text: registry + bridged ``/stats`` families.
+
+        Bridging happens here, at scrape time, from the same snapshots
+        ``/stats`` serves — the legacy counter dataclasses keep their APIs
+        and the two endpoints cannot drift apart.
+        """
+        samples = bridge.service_samples(self._service.stats())
+        samples += bridge.admission_samples(self._admission_snapshot())
+        return self._registry.render(extra_samples=samples)
 
     def _admission_snapshot(self) -> Dict[str, int]:
         with self._admission_lock:
@@ -359,7 +427,7 @@ class ServiceServer:
             self._pending -= 1
 
     async def _handle_query(
-        self, path: str, body: bytes
+        self, path: str, body: bytes, headers: Dict[str, str]
     ) -> Tuple[int, Dict[str, Any]]:
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -369,6 +437,13 @@ class ServiceServer:
         except (ValueError, KeyError) as error:
             return 400, {"error": f"bad request body: {error}"}
 
+        # A trace exists only when the client asked for one — by header
+        # (router/replica propagation) or by requesting timings — so
+        # untraced traffic pays nothing beyond this lookup.
+        trace_id = parse_header(headers.get(TRACE_HEADER.lower()))
+        want_timings = bool(payload.get("timings"))
+        trace = new_trace(trace_id) if (trace_id or want_timings) else None
+
         rejected = self._try_admit()
         if rejected is not None:
             return rejected
@@ -377,16 +452,27 @@ class ServiceServer:
             if path == "/query":
                 if "query" not in payload:
                     return 400, {"error": "missing 'query' field"}
-                work = lambda: self._service.query(  # noqa: E731
-                    graph, payload["query"], timeout=self._request_timeout
+                # run_with_trace: run_in_executor does not carry the
+                # contextvar to the worker thread.
+                work = lambda: run_with_trace(  # noqa: E731
+                    trace,
+                    self._service.query,
+                    graph,
+                    payload["query"],
+                    timeout=self._request_timeout,
+                    timings=want_timings,
                 )
                 result = await loop.run_in_executor(self._executor, work)
                 return 200, result
             queries = payload.get("queries")
             if not isinstance(queries, list):
                 return 400, {"error": "missing 'queries' list"}
-            work = lambda: self._service.query_batch(  # noqa: E731
-                graph, queries, timeout=self._request_timeout
+            work = lambda: run_with_trace(  # noqa: E731
+                trace,
+                self._service.query_batch,
+                graph,
+                queries,
+                timeout=self._request_timeout,
             )
             results = await loop.run_in_executor(self._executor, work)
             return 200, {"graph": graph, "results": results}

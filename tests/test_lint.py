@@ -291,6 +291,43 @@ class TestTIME001:
             """
         )
 
+    def test_monotonic_clock_in_fingerprint_flagged(self):
+        # perf_counter/monotonic are just as poisonous in key material as
+        # time.time(): span timestamps must never reach fingerprints.
+        assert "TIME001" in rules_hit(
+            """
+            import time
+
+            def fingerprint(graph):
+                return hash((graph.num_edges, time.perf_counter()))
+            """
+        )
+
+    def test_bare_imported_monotonic_in_cache_key_flagged(self):
+        assert "TIME001" in rules_hit(
+            """
+            from time import monotonic
+
+            def cache_key(graph, query):
+                return (graph, query, monotonic())
+            """
+        )
+
+    def test_span_timing_outside_key_material_ok(self):
+        # The tracing pattern: monotonic reads feeding a timings metadata
+        # section, never a key — exactly what repro.obs.trace does.
+        assert "TIME001" not in rules_hit(
+            """
+            import time
+
+            def timed(fn):
+                start = time.perf_counter()
+                result = fn()
+                return {"result": result,
+                        "wall_seconds": time.perf_counter() - start}
+            """
+        )
+
 
 # ----------------------------------------------------------------------
 # LOCK001 — inconsistent lock coverage

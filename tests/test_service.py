@@ -599,7 +599,7 @@ class TestHttpEndToEnd:
             def stats(self):
                 return {}
 
-            def query(self, graph, query, timeout=None):
+            def query(self, graph, query, timeout=None, timings=False):
                 release.wait(timeout=10)
                 return {"graph": graph, "kind": "k-terminal", "checksum": "x",
                         "result": {"kind": "k-terminal", "terminals": [1],
