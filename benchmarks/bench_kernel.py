@@ -20,13 +20,23 @@ checks, that the kernel's answers are **bit-identical**:
   ``IntUnionFind`` vs. rebuilding a dict union-find per sample.
 * ``query_kinds`` — all six typed query kinds through the engine, on both
   the ``sampling`` and ``s2bdd`` backends, checksummed against constants
-  recorded on the pre-kernel implementation.
+  recorded on the pre-kernel implementation.  The ``s2bdd`` backend runs a
+  *repeated* two-pass workload in two configurations — the legacy dict
+  construction with the diagram cache off (the pre-interning behaviour)
+  and the default interned-plus-cached path — splitting wall-clock into
+  ``construction_seconds`` / ``evaluation_seconds`` via the
+  ``repro_s2bdd_construction_seconds`` histogram and proving all four
+  passes bit-identical.
 
-The headline gate is ``combined_speedup`` per graph: wall-clock of
+The headline gates are per graph: ``combined_speedup`` — wall-clock of
 (pool construction + connectivity sweep) on the dict-based path divided by
-the same work on the kernel.  Exit status is non-zero when any parity
-check fails or any graph's combined speedup falls below ``--min-speedup``
-(default 3.0; CI's 1-CPU container gates at 1.5).
+the same work on the kernel — plus the s2bdd ``construction_speedup``
+(legacy construction seconds over the repeated workload divided by the
+interned+cached path's; ``--min-construction-speedup``, default 5.0) and
+the cached-pass check (second-pass construction must cost at most 10% of
+the cold pass).  Exit status is non-zero when any parity check fails or
+any gate is missed (``--min-speedup`` default 3.0; CI's 1-CPU container
+gates at 1.5).
 
 Usage::
 
@@ -56,6 +66,7 @@ from repro.experiments.workloads import (
     generate_searches,
     queries_from_searches,
 )
+from repro.obs import get_registry
 from repro.utils.union_find import UnionFind
 
 #: Query kinds of the engine parity workload.
@@ -408,6 +419,23 @@ def bench_s2bdd_completions(graph, completions: int, seed: int) -> Dict:
     }
 
 
+def _s2bdd_construction_seconds() -> float:
+    """Cumulative S²BDD construction seconds from the process-wide histogram."""
+    metric = get_registry().to_dict().get("repro_s2bdd_construction_seconds")
+    if not metric:
+        return 0.0
+    return sum(child.get("sum", 0.0) for child in metric.get("values", []))
+
+
+def _timed_workload(engine, queries, seed_indices=None):
+    """Run one workload pass; return (results, wall seconds, construction seconds)."""
+    before = _s2bdd_construction_seconds()
+    t0 = time.perf_counter()
+    results = engine.query_many(queries, seed_indices=seed_indices)
+    elapsed = time.perf_counter() - t0
+    return results, elapsed, _s2bdd_construction_seconds() - before
+
+
 def bench_query_kinds(dataset: str, graph, samples: int, num_searches: int) -> Dict:
     searches = generate_searches(graph, dataset, 3, num_searches, seed=2019)
     queries = [
@@ -416,26 +444,101 @@ def bench_query_kinds(dataset: str, graph, samples: int, num_searches: int) -> D
         for query in queries_from_searches(searches, kind, threshold=0.3)
     ]
     section: Dict = {"queries": len(queries), "kinds": list(WORKLOAD_KINDS)}
-    for backend in ("sampling", "s2bdd"):
-        engine = ReliabilityEngine(
-            EstimatorConfig(backend=backend, samples=samples, rng=7)
-        ).prepare(graph)
-        t0 = time.perf_counter()
-        results = engine.query_many(queries)
-        elapsed = time.perf_counter() - t0
-        checksum = results_checksum(results)
-        golden = GOLDEN_QUERY_CHECKSUMS.get((dataset, backend))
-        if golden is not None:
-            check(
-                checksum == golden,
-                f"{dataset}/{backend} workload checksum {checksum} diverges "
-                f"from the pre-kernel reference {golden}",
-            )
-        section[backend] = {
-            "seconds": round(elapsed, 3),
-            "checksum": checksum,
-            "matches_reference": golden is not None,
-        }
+
+    engine = ReliabilityEngine(
+        EstimatorConfig(backend="sampling", samples=samples, rng=7)
+    ).prepare(graph)
+    t0 = time.perf_counter()
+    results = engine.query_many(queries)
+    elapsed = time.perf_counter() - t0
+    checksum = results_checksum(results)
+    golden = GOLDEN_QUERY_CHECKSUMS.get((dataset, "sampling"))
+    if golden is not None:
+        check(
+            checksum == golden,
+            f"{dataset}/sampling workload checksum {checksum} diverges "
+            f"from the pre-kernel reference {golden}",
+        )
+    section["sampling"] = {
+        "seconds": round(elapsed, 3),
+        "checksum": checksum,
+        "matches_reference": golden is not None,
+    }
+
+    # The s2bdd backend runs the workload TWICE per configuration — the
+    # repeated workload the diagram cache targets.  The second pass pins
+    # ``seed_indices`` to the first pass's implicit 0..n-1 counter so its
+    # per-query RNG streams (and therefore its answers) must reproduce
+    # pass 1 exactly.
+    repeat_seeds = list(range(len(queries)))
+    legacy_engine = ReliabilityEngine(
+        EstimatorConfig(
+            backend="s2bdd",
+            samples=samples,
+            rng=7,
+            s2bdd_interned=False,
+            s2bdd_cache=False,
+        )
+    ).prepare(graph)
+    legacy_results, legacy_elapsed, legacy_cold = _timed_workload(
+        legacy_engine, queries
+    )
+    legacy_repeat_results, legacy_repeat_elapsed, legacy_warm = _timed_workload(
+        legacy_engine, queries, repeat_seeds
+    )
+
+    engine = ReliabilityEngine(
+        EstimatorConfig(backend="s2bdd", samples=samples, rng=7)
+    ).prepare(graph)
+    results, elapsed, cold_construction = _timed_workload(engine, queries)
+    repeat_results, repeat_elapsed, cached_construction = _timed_workload(
+        engine, queries, repeat_seeds
+    )
+
+    checksum = results_checksum(results)
+    legacy_checksum = results_checksum(legacy_results)
+    golden = GOLDEN_QUERY_CHECKSUMS.get((dataset, "s2bdd"))
+    if golden is not None:
+        check(
+            legacy_checksum == golden,
+            f"{dataset}/s2bdd legacy workload checksum {legacy_checksum} "
+            f"diverges from the pre-kernel reference {golden}",
+        )
+    check(
+        checksum == legacy_checksum,
+        f"{dataset}/s2bdd interned+cached checksum {checksum} diverges "
+        f"from the legacy dict path {legacy_checksum}",
+    )
+    check(
+        results_checksum(legacy_repeat_results) == legacy_checksum,
+        f"{dataset}/s2bdd legacy repeat pass diverges from its first pass",
+    )
+    check(
+        results_checksum(repeat_results) == checksum,
+        f"{dataset}/s2bdd cached repeat pass diverges from its first pass",
+    )
+
+    legacy_construction = legacy_cold + legacy_warm
+    new_construction = cold_construction + cached_construction
+    section["s2bdd"] = {
+        "seconds": round(elapsed, 3),
+        "construction_seconds": round(cold_construction, 3),
+        "evaluation_seconds": round(elapsed - cold_construction, 3),
+        "repeat_seconds": round(repeat_elapsed, 3),
+        "cached_construction_seconds": round(cached_construction, 4),
+        "legacy_seconds": round(legacy_elapsed + legacy_repeat_elapsed, 3),
+        "legacy_construction_seconds": round(legacy_construction, 3),
+        "construction_speedup": round(
+            legacy_construction / max(new_construction, 1e-9), 2
+        ),
+        "cache_hits": engine.stats.s2bdd_cache_hits,
+        "s2bdds_built": engine.stats.s2bdds_built,
+        "checksum": checksum,
+        "matches_reference": golden is not None,
+        "_cold_construction": cold_construction,
+        "_cached_construction": cached_construction,
+        "_legacy_construction": legacy_construction,
+    }
     return section
 
 
@@ -452,6 +555,7 @@ def run(args) -> Dict:
         "benchmark": "compiled-graph-kernel",
         "quick": bool(args.quick),
         "min_speedup": args.min_speedup,
+        "min_construction_speedup": args.min_construction_speedup,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -496,6 +600,21 @@ def run(args) -> Dict:
             dataset, graph, samples=400 if dataset == "tokyo" else 300,
             num_searches=4 if dataset == "tokyo" else 3,
         )
+        s2bdd = entry["query_kinds"]["s2bdd"]
+        cold = s2bdd.pop("_cold_construction")
+        cached = s2bdd.pop("_cached_construction")
+        legacy = s2bdd.pop("_legacy_construction")
+        construction_speedup = legacy / max(cold + cached, 1e-9)
+        if construction_speedup < args.min_construction_speedup:
+            failures.append(
+                f"{dataset}: s2bdd construction speedup {construction_speedup:.2f}x "
+                f"below the {args.min_construction_speedup}x gate"
+            )
+        if cached > 0.10 * cold:
+            failures.append(
+                f"{dataset}: cached-pass construction {cached:.4f}s exceeds "
+                f"10% of the cold pass ({cold:.4f}s)"
+            )
         report["graphs"][dataset] = entry
 
     report["speedup_failures"] = failures
@@ -510,6 +629,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=3.0,
         help="fail when any graph's combined construction+sweep speedup is below this",
+    )
+    parser.add_argument(
+        "--min-construction-speedup",
+        type=float,
+        default=5.0,
+        help="fail when any graph's repeated-workload s2bdd construction "
+        "speedup (legacy dict path vs interned+cached) is below this",
     )
     parser.add_argument("--out", default="BENCH_kernel.json", help="output JSON path")
     args = parser.parse_args(argv)
@@ -533,9 +659,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"sweep {entry['connectivity_sweep']['speedup']}x, "
             f"combined {entry['combined_speedup']}x, "
             f"sampling backend {entry['sampling_backend']['speedup']}x, "
-            f"s2bdd completions {entry['s2bdd_completions'].get('speedup', 'n/a')}x"
+            f"s2bdd completions {entry['s2bdd_completions'].get('speedup', 'n/a')}x, "
+            f"s2bdd construction {entry['query_kinds']['s2bdd']['construction_speedup']}x "
+            f"({entry['query_kinds']['s2bdd']['cache_hits']} cache hits)"
         )
-    print("parity: ok (pools, scans, sampling, completions, six query kinds)")
+    print(
+        "parity: ok (pools, scans, sampling, completions, six query kinds "
+        "on legacy + interned/cached s2bdd, repeated passes)"
+    )
 
     if report["speedup_failures"]:
         for failure in report["speedup_failures"]:

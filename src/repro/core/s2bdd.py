@@ -20,6 +20,28 @@ over strata and ``R̂_j`` estimates the conditional reliability of stratum
 ``j``.  When the width cap is never hit, there are no strata and the result
 is the exact reliability (the paper's "our approach computes the exact
 answer for small-scale graphs").
+
+Two construction back ends produce bit-identical diagrams:
+
+* the **legacy dict path** (:meth:`S2BDD._construct`) keys each layer by
+  nested ``(partition, flags)`` tuples and calls
+  :meth:`~repro.core.state.TransitionTable.apply` per branch — it is the
+  readable reference implementation;
+* the **interned path** (:meth:`S2BDD._construct_interned`, the default)
+  assigns each distinct layer state a dense integer id, keys the layer by a
+  flat ``bytes`` string, inlines the transition over the precomputed
+  per-layer index maps, and shares the no-merge child between the two
+  branches of a parent.  It follows the exact float-operation order of the
+  legacy path (same Kahan additions, same dedup accumulation, same
+  priority-sort trigger and stability), so results match bit for bit.
+
+The interned path additionally records a **replay** of the diagram — per
+layer, the arc targets of every (parent, branch) pair — whenever the
+diagram is exact and probability-independent in structure (no deletions,
+no priority sort, every edge probability strictly inside ``(0, 1)``).
+:meth:`S2BDD.resweep` pushes new edge probabilities through that recording
+without re-deriving any state, which is what lets probability-only graph
+deltas reuse a cached diagram's structure.
 """
 
 from __future__ import annotations
@@ -46,6 +68,19 @@ Vertex = Hashable
 
 #: Unresolved probability mass below which the result is treated as exact.
 _EXACT_MASS_TOLERANCE = 1e-12
+
+#: Replay arc codes for non-live children (live arcs are state ids >= 0).
+_ARC_CONNECTED = -1
+_ARC_DISCONNECTED = -2
+_ARC_PRUNED = -3
+
+#: Sentinel outcome for transitions that reach the 1-sink (interned path).
+_CONNECTED_OUTCOME = object()
+
+#: Largest frontier the byte-string interner can label: work arrays hold the
+#: frontier plus at most two entering vertices, and ``bytes()`` needs every
+#: component label to fit one byte.
+_MAX_INTERNED_FRONTIER = 253
 
 
 @dataclass(frozen=True)
@@ -128,6 +163,12 @@ class S2BDD:
         generating children, so that high-priority nodes survive the width
         cap (the paper's deleting procedure).  Disabling it keeps nodes in
         arrival order; used by the ablation benchmarks.
+    use_interned:
+        Whether construction may use the interned flat-int path (the
+        default).  The legacy dict path stays available as the parity
+        reference; both produce bit-identical results.  Graphs whose
+        frontier exceeds the one-byte label space silently fall back to
+        the legacy path.
     rng:
         Seed / generator for the sampling procedure.
 
@@ -149,6 +190,7 @@ class S2BDD:
         edge_ordering: EdgeOrdering = EdgeOrdering.BFS,
         stratum_mass_cutoff: float = 0.5,
         use_priority: bool = True,
+        use_interned: bool = True,
         rng: RandomLike = None,
     ) -> None:
         check_positive_int(max_width, "max_width")
@@ -170,6 +212,10 @@ class S2BDD:
             rng=self._rng,
         )
         self._transitions = TransitionTable(self._plan, self._terminals)
+        self._interned = (
+            bool(use_interned)
+            and self._plan.max_frontier_size() <= _MAX_INTERNED_FRONTIER
+        )
         # Flat-int state for the stratum-completion sampler, built lazily
         # on the first sampling run (exact diagrams never need it).
         self._completions: Optional[_StratumCompletionKernel] = None
@@ -182,22 +228,37 @@ class S2BDD:
         """The frontier plan (edge order and per-layer frontiers) in use."""
         return self._plan
 
+    @property
+    def interned(self) -> bool:
+        """Whether construction runs on the interned flat-int path."""
+        return self._interned
+
     def run(
         self,
         samples: int,
         *,
         estimator: EstimatorKind = EstimatorKind.MONTE_CARLO,
+        rng: RandomLike = None,
+        construction: Optional["S2BDD._Construction"] = None,
     ) -> S2BDDResult:
         """Estimate the reliability with a budget of ``samples`` samples.
 
         The budget is first reduced to ``s'`` according to Theorem 1 / 2
         using the bounds found during construction; only ``s'`` completions
         are then sampled from the strata.
+
+        ``construction`` lets callers reuse an already-built diagram (for
+        example one answered from the constructed-diagram cache); ``rng``
+        overrides the sampling stream per call so one cached diagram can
+        serve many queries with independent seeds.  Both default to the
+        historical behaviour (construct now, sample from the instance rng).
         """
         check_non_negative_int(samples, "samples")
         estimator = EstimatorKind.coerce(estimator)
 
-        construction = self._construct(samples=samples)
+        sampling_rng = self._rng if rng is None else resolve_rng(rng)
+        if construction is None:
+            construction = self.construct(samples)
         bounds = construction.bounds
         strata = construction.strata
 
@@ -224,7 +285,7 @@ class S2BDD:
 
         samples_used = max(1, samples_reduced)
         reliability = self._sample_strata(
-            strata, unresolved, bounds, samples_used, estimator
+            strata, unresolved, bounds, samples_used, estimator, sampling_rng
         )
         return S2BDDResult(
             reliability=bounds.clamp(reliability),
@@ -242,7 +303,100 @@ class S2BDD:
 
     def compute_bounds(self) -> ReliabilityBounds:
         """Construct the diagram and return only the certified bounds."""
-        return self._construct(samples=0).bounds
+        return self.construct(0).bounds
+
+    def construct(self, samples: int = 0) -> "S2BDD._Construction":
+        """Build the diagram and return the construction outcome.
+
+        Dispatches to the interned flat-int path or the legacy dict path
+        depending on how the instance was configured; the two are
+        bit-identical.  The returned object can be passed back to
+        :meth:`run` any number of times, which is how one constructed
+        diagram amortises over a whole query workload.
+        """
+        check_non_negative_int(samples, "samples")
+        if self._interned:
+            return self._construct_interned(samples=samples)
+        return self._construct(samples=samples)
+
+    def resweep(
+        self,
+        construction: "S2BDD._Construction",
+        probabilities: Sequence[float],
+    ) -> "S2BDD._Construction":
+        """Re-evaluate a recorded diagram under new edge probabilities.
+
+        ``probabilities`` lists the new existence probability of each plan
+        edge (``self.plan.edges`` order) and must all lie strictly inside
+        ``(0, 1)``.  The diagram *structure* — which child every (parent,
+        branch) pair reaches — is probability-independent for a replayable
+        construction, so the sweep only pushes masses along the recorded
+        arcs, in exactly the float-operation order a fresh construction
+        would use.  The result is therefore bit-identical to rebuilding
+        from scratch, at a fraction of the cost.
+
+        Raises :class:`ValueError` when the construction carries no replay
+        recording (``replay_safe`` is ``False``).
+        """
+        replay = construction.replay
+        if not construction.replay_safe or replay is None:
+            raise ValueError(
+                "construction is not replayable; rebuild the diagram instead"
+            )
+        if len(probabilities) < len(replay):
+            raise ValueError(
+                f"need {len(replay)} per-layer probabilities, "
+                f"got {len(probabilities)}"
+            )
+        for probability in probabilities:
+            if not 0.0 < probability < 1.0:
+                raise ValueError(
+                    f"re-sweep probabilities must lie strictly inside (0, 1), "
+                    f"got {probability!r}; a boundary probability changes the "
+                    f"diagram structure, so rebuild instead"
+                )
+        connected_mass = KahanSum()
+        disconnected_mass = KahanSum()
+        connected_add = connected_mass.add
+        disconnected_add = disconnected_mass.add
+
+        masses: List[float] = [1.0]
+        for layer_index, (false_arcs, true_arcs, next_width) in enumerate(replay):
+            probability_exist = probabilities[layer_index]
+            probability_missing = 1.0 - probability_exist
+            next_masses = [0.0] * next_width
+            for sid, probability in enumerate(masses):
+                arc = false_arcs[sid]
+                child_probability = probability * probability_missing
+                if arc >= 0:
+                    next_masses[arc] += child_probability
+                elif arc == _ARC_CONNECTED:
+                    connected_add(child_probability)
+                else:
+                    disconnected_add(child_probability)
+                arc = true_arcs[sid]
+                child_probability = probability * probability_exist
+                if arc >= 0:
+                    next_masses[arc] += child_probability
+                elif arc == _ARC_CONNECTED:
+                    connected_add(child_probability)
+                else:
+                    disconnected_add(child_probability)
+            masses = next_masses
+
+        p_c = min(1.0, max(0.0, connected_mass.value))
+        p_d = min(1.0, max(0.0, disconnected_mass.value))
+        if p_c + p_d > 1.0:
+            p_d = max(0.0, 1.0 - p_c)
+        return S2BDD._Construction(
+            bounds=ReliabilityBounds(p_c, p_d),
+            strata=[],
+            peak_width=construction.peak_width,
+            layers_processed=construction.layers_processed,
+            deleted_mass=0.0,
+            replay=replay,
+            replay_safe=True,
+        )
 
     # ------------------------------------------------------------------
     # Construction (generating / merging / deleting procedures)
@@ -254,6 +408,12 @@ class S2BDD:
         peak_width: int
         layers_processed: int
         deleted_mass: float
+        # Per layer, the arc targets of every (parent, branch) pair plus the
+        # next layer's live width; only recorded by the interned path, and
+        # only kept when the structure is probability-independent (exact, no
+        # priority sort, every edge probability strictly inside (0, 1)).
+        replay: Optional[List[Tuple[List[int], List[int], int]]] = None
+        replay_safe: bool = False
 
     def _construct(self, *, samples: int = 0) -> "S2BDD._Construction":
         """Build the S²BDD layer by layer.
@@ -396,6 +556,380 @@ class S2BDD:
             deleted_mass=deleted_mass.value,
         )
 
+    def _construct_interned(self, *, samples: int = 0) -> "S2BDD._Construction":
+        """Interned flat-int construction, bit-identical to :meth:`_construct`.
+
+        Layer states live in parallel lists indexed by a dense state id:
+        ``parts[sid]`` / ``cnts[sid]`` are the partition and component
+        counts as plain int lists, ``masses[sid]`` the accumulated
+        probability, ``keys[sid]`` the flat ``bytes`` merge key (partition
+        labels followed by the per-component terminal flags; both ranges
+        have a layer-fixed length, so no separator is needed).  The
+        transition is inlined over the precomputed per-layer index maps.
+        Two fused per-layer closures produce children in a single pass:
+        ``finish`` for the no-merge child — shared between the False branch
+        and a True branch that joins nothing, computed lazily once per
+        parent — and ``finish_merge``, which reads the merge through a
+        label indirection instead of materialising the rewritten partition
+        and counts first.
+
+        Bit-identity with the legacy path holds because every float
+        operation happens in the same order: parents are visited in state-id
+        (= dict insertion) order, the priority sort fires on the same
+        trigger and is equally stable, each parent still emits the False
+        branch before the True branch, duplicate children accumulate via
+        the same ``+=`` sequence, and the Kahan sums see the same adds.
+        """
+        plan = self._plan
+        transitions = self._transitions
+        k = self._k
+        max_width = self._max_width
+        cutoff = self._stratum_mass_cutoff
+        use_priority = self._use_priority
+
+        if k <= 1:
+            return S2BDD._Construction(ReliabilityBounds(1.0, 0.0), [], 0, 0, 0.0)
+        if plan.num_edges == 0:
+            # Two or more terminals but no edges: never connected.
+            return S2BDD._Construction(ReliabilityBounds(0.0, 1.0), [], 0, 0, 0.0)
+
+        connected_mass = KahanSum()
+        disconnected_mass = KahanSum()
+        deleted_mass = KahanSum()
+        connected_add = connected_mass.add
+        disconnected_add = disconnected_mass.add
+        deleted_add = deleted_mass.add
+        strata: List[Stratum] = []
+
+        # Layer 0: the single root state (empty frontier, no components).
+        parts: List[List[int]] = [[]]
+        cnts: List[List[int]] = [[]]
+        masses: List[float] = [1.0]
+        keys: List[bytes] = [b""]
+        peak_width = 1
+        layers_processed = 0
+
+        replay: List[Tuple[List[int], List[int], int]] = []
+        replay_ok = True
+
+        for layer_index in range(plan.num_edges):
+            width = len(masses)
+            if width == 0:
+                break
+            layers_processed = layer_index + 1
+            edge = plan.edges[layer_index]
+            probability_exist = edge.probability
+            probability_missing = 1.0 - probability_exist
+            next_layer = layer_index + 1
+
+            context = transitions.layer(layer_index)
+            u_position = context.u_position
+            v_position = context.v_position
+            merge_allowed = not context.is_loop
+            entering_terminal = context.entering_terminal
+            num_entering = len(entering_terminal)
+            entering_counts = list(entering_terminal)
+            after_positions = context.after_positions
+            leaving_positions = context.leaving_positions
+            identity = context.identity
+
+            def finish(
+                labels: List[int],
+                lcounts: List[int],
+                _after: Tuple[int, ...] = after_positions,
+                _leaving: Tuple[int, ...] = leaving_positions,
+            ) -> Optional[Tuple[bytes, List[int], List[int]]]:
+                # 0-sink: only a component containing a retiring endpoint of
+                # the processed edge can lose its last frontier vertex here.
+                for position in _leaving:
+                    label = labels[position]
+                    if lcounts[label] <= 0:
+                        continue
+                    for after_position in _after:
+                        if labels[after_position] == label:
+                            break
+                    else:
+                        return None
+                # Canonicalise over the next frontier.
+                relabel = [-1] * len(lcounts)
+                child_partition: List[int] = []
+                child_counts: List[int] = []
+                child_flags: List[int] = []
+                next_label = 0
+                for position in _after:
+                    label = labels[position]
+                    canonical = relabel[label]
+                    if canonical < 0:
+                        canonical = next_label
+                        relabel[label] = canonical
+                        next_label += 1
+                        count = lcounts[label]
+                        child_counts.append(count)
+                        child_flags.append(1 if count else 0)
+                    child_partition.append(canonical)
+                return (
+                    bytes(child_partition + child_flags),
+                    child_partition,
+                    child_counts,
+                )
+
+            def finish_merge(
+                labels: List[int],
+                lcounts: List[int],
+                label_u: int,
+                label_v: int,
+                merged: int,
+                _after: Tuple[int, ...] = after_positions,
+                _leaving: Tuple[int, ...] = leaving_positions,
+            ) -> Optional[Tuple[bytes, List[int], List[int]]]:
+                # Same as ``finish`` over the state with label_v rewritten to
+                # label_u and the merged component count, but reading through
+                # the indirection instead of copying the arrays first.
+                for position in _leaving:
+                    label = labels[position]
+                    if label == label_v:
+                        label = label_u
+                    count = merged if label == label_u else lcounts[label]
+                    if count <= 0:
+                        continue
+                    for after_position in _after:
+                        after_label = labels[after_position]
+                        if after_label == label_v:
+                            after_label = label_u
+                        if after_label == label:
+                            break
+                    else:
+                        return None
+                relabel = [-1] * len(lcounts)
+                child_partition: List[int] = []
+                child_counts: List[int] = []
+                child_flags: List[int] = []
+                next_label = 0
+                for position in _after:
+                    label = labels[position]
+                    if label == label_v:
+                        label = label_u
+                    canonical = relabel[label]
+                    if canonical < 0:
+                        canonical = next_label
+                        relabel[label] = canonical
+                        next_label += 1
+                        count = merged if label == label_u else lcounts[label]
+                        child_counts.append(count)
+                        child_flags.append(1 if count else 0)
+                    child_partition.append(canonical)
+                return (
+                    bytes(child_partition + child_flags),
+                    child_partition,
+                    child_counts,
+                )
+
+            order: Sequence[int] = range(width)
+            # Deletion can only happen if this layer is able to overflow the
+            # width cap; only then is the (comparatively expensive) priority
+            # ordering of the parents worthwhile.
+            if use_priority and 2 * width > max_width:
+                priority = transitions.priority
+                order = sorted(
+                    range(width),
+                    key=lambda sid: priority(
+                        layer_index, parts[sid], cnts[sid], masses[sid]
+                    ),
+                    reverse=True,
+                )
+                replay_ok = False
+
+            next_index: Dict[bytes, int] = {}
+            next_parts: List[List[int]] = []
+            next_cnts: List[List[int]] = []
+            next_masses: List[float] = []
+            next_keys: List[bytes] = []
+            next_width = 0
+            false_arcs: List[int] = []
+            true_arcs: List[int] = []
+
+            for sid in order:
+                partition = parts[sid]
+                counts = cnts[sid]
+                probability = masses[sid]
+
+                # Work state: frontier-before labels plus entering singletons.
+                if num_entering == 0:
+                    ext_partition = partition
+                    ext_counts = counts
+                else:
+                    base = len(counts)
+                    if num_entering == 1:
+                        ext_partition = partition + [base]
+                    else:
+                        ext_partition = partition + [base, base + 1]
+                    ext_counts = counts + entering_counts
+
+                # The no-merge child is shared by the False branch and a
+                # True branch that joins nothing; compute it lazily, once.
+                shared_ready = False
+                shared: object = None
+
+                # --- False branch (edge absent) -----------------------
+                if probability_missing > 0.0:
+                    if identity:
+                        shared = (keys[sid], partition, counts)
+                    else:
+                        shared = finish(ext_partition, ext_counts)
+                    shared_ready = True
+                    outcome = shared
+                    child_probability = probability * probability_missing
+                    if type(outcome) is tuple:
+                        child_key = outcome[0]
+                        child_id = next_index.get(child_key)
+                        if child_id is not None:
+                            next_masses[child_id] += child_probability
+                            false_arcs.append(child_id)
+                        elif next_width < max_width:
+                            next_index[child_key] = next_width
+                            next_parts.append(outcome[1])
+                            next_cnts.append(outcome[2])
+                            next_masses.append(child_probability)
+                            next_keys.append(child_key)
+                            false_arcs.append(next_width)
+                            next_width += 1
+                        else:
+                            strata.append(
+                                Stratum(
+                                    next_layer,
+                                    tuple(outcome[1]),
+                                    tuple(outcome[2]),
+                                    child_probability,
+                                )
+                            )
+                            deleted_add(child_probability)
+                            replay_ok = False
+                            false_arcs.append(_ARC_PRUNED)
+                    elif outcome is None:
+                        disconnected_add(child_probability)
+                        false_arcs.append(_ARC_DISCONNECTED)
+                    else:
+                        connected_add(child_probability)
+                        false_arcs.append(_ARC_CONNECTED)
+                else:
+                    replay_ok = False
+                    false_arcs.append(_ARC_PRUNED)
+
+                # --- True branch (edge present) -----------------------
+                if probability_exist > 0.0:
+                    child_probability = probability * probability_exist
+                    if merge_allowed:
+                        label_u = ext_partition[u_position]
+                        label_v = ext_partition[v_position]
+                    else:
+                        label_u = label_v = 0
+                    if label_u != label_v:
+                        merged = ext_counts[label_u] + ext_counts[label_v]
+                        if merged >= k:
+                            # 1-sink: the merged component holds every
+                            # terminal (the only count that changed).
+                            outcome = _CONNECTED_OUTCOME
+                        else:
+                            outcome = finish_merge(
+                                ext_partition,
+                                ext_counts,
+                                label_u,
+                                label_v,
+                                merged,
+                            )
+                    else:
+                        if not shared_ready:
+                            if identity:
+                                shared = (keys[sid], partition, counts)
+                            else:
+                                shared = finish(ext_partition, ext_counts)
+                            shared_ready = True
+                        outcome = shared
+                    if type(outcome) is tuple:
+                        child_key = outcome[0]
+                        child_id = next_index.get(child_key)
+                        if child_id is not None:
+                            next_masses[child_id] += child_probability
+                            true_arcs.append(child_id)
+                        elif next_width < max_width:
+                            next_index[child_key] = next_width
+                            next_parts.append(outcome[1])
+                            next_cnts.append(outcome[2])
+                            next_masses.append(child_probability)
+                            next_keys.append(child_key)
+                            true_arcs.append(next_width)
+                            next_width += 1
+                        else:
+                            strata.append(
+                                Stratum(
+                                    next_layer,
+                                    tuple(outcome[1]),
+                                    tuple(outcome[2]),
+                                    child_probability,
+                                )
+                            )
+                            deleted_add(child_probability)
+                            replay_ok = False
+                            true_arcs.append(_ARC_PRUNED)
+                    elif outcome is None:
+                        disconnected_add(child_probability)
+                        true_arcs.append(_ARC_DISCONNECTED)
+                    else:
+                        connected_add(child_probability)
+                        true_arcs.append(_ARC_CONNECTED)
+                else:
+                    replay_ok = False
+                    true_arcs.append(_ARC_PRUNED)
+
+            parts = next_parts
+            cnts = next_cnts
+            masses = next_masses
+            keys = next_keys
+            if next_width > peak_width:
+                peak_width = next_width
+            replay.append((false_arcs, true_arcs, next_width))
+
+            # Early termination (Algorithm 2, lines 26–32); see the legacy
+            # path for the full rationale.  Requires at least one deleted
+            # node, so it never fires on a replayable construction.
+            if samples > 0 and next_width and strata:
+                unresolved = 1.0 - connected_mass.value - disconnected_mass.value
+                if unresolved * samples < 1.0:
+                    break
+                if cutoff < 1.0 and deleted_mass.value > cutoff * unresolved:
+                    break
+
+        # Nodes still alive after the loop become strata so their mass is
+        # still covered by sampling (mirrors the legacy path).
+        for sid in range(len(masses)):
+            probability = masses[sid]
+            strata.append(
+                Stratum(
+                    layers_processed,
+                    tuple(parts[sid]),
+                    tuple(cnts[sid]),
+                    probability,
+                )
+            )
+            deleted_add(probability)
+
+        p_c = min(1.0, max(0.0, connected_mass.value))
+        p_d = min(1.0, max(0.0, disconnected_mass.value))
+        if p_c + p_d > 1.0:
+            # Numerical guard: renormalise the tiny overshoot.
+            p_d = max(0.0, 1.0 - p_c)
+        bounds = ReliabilityBounds(p_c, p_d)
+        replay_safe = replay_ok and not strata
+        return S2BDD._Construction(
+            bounds=bounds,
+            strata=strata,
+            peak_width=peak_width,
+            layers_processed=layers_processed,
+            deleted_mass=deleted_mass.value,
+            replay=replay if replay_safe else None,
+            replay_safe=replay_safe,
+        )
+
     # ------------------------------------------------------------------
     # Sampling procedure
     # ------------------------------------------------------------------
@@ -406,6 +940,7 @@ class S2BDD:
         bounds: ReliabilityBounds,
         samples: int,
         estimator: EstimatorKind,
+        rng,
     ) -> float:
         """Estimate the unresolved contribution by sampling completions.
 
@@ -417,7 +952,6 @@ class S2BDD:
         weights distinct completions by their inclusion probability within
         the unresolved population.
         """
-        rng = self._rng
         cumulative: List[float] = []
         running = 0.0
         for stratum in strata:

@@ -80,16 +80,37 @@ class NodeState:
         eventual sink, so the key keeps booleans rather than counts; nodes
         that merge may therefore carry different counts, which only affects
         the deletion heuristic, never correctness.
+
+        The key is memoised on the (frozen) instance: legacy construction
+        asks for it once per outgoing branch of every node.
         """
-        return (self.partition, tuple(count > 0 for count in self.terminal_counts))
+        key = getattr(self, "_merge_key_cache", None)
+        if key is None:
+            key = (
+                self.partition,
+                tuple(count > 0 for count in self.terminal_counts),
+            )
+            object.__setattr__(self, "_merge_key_cache", key)
+        return key
 
     def num_components(self) -> int:
         """Number of frontier components tracked by this state."""
         return len(self.terminal_counts)
 
     def component_of(self, frontier: Sequence[Vertex]) -> Dict[Vertex, int]:
-        """Return a vertex → component-label mapping for ``frontier``."""
-        return {vertex: label for vertex, label in zip(frontier, self.partition)}
+        """Return a vertex → component-label mapping for ``frontier``.
+
+        The mapping is cached per frontier: states are immutable, and the
+        callers that fan one state out over many probes all pass the same
+        frontier tuple, so rebuilding the dict per call was pure waste.
+        """
+        frontier = tuple(frontier)
+        cached = getattr(self, "_component_of_cache", None)
+        if cached is not None and cached[0] == frontier:
+            return cached[1]
+        mapping = {vertex: label for vertex, label in zip(frontier, self.partition)}
+        object.__setattr__(self, "_component_of_cache", (frontier, mapping))
+        return mapping
 
 
 def initial_state() -> NodeState:
@@ -115,6 +136,13 @@ class _LayerContext:
     v_leaves: bool
     # Number of uncertain edges per *current*-frontier position (for h(n)).
     frontier_degrees: Tuple[int, ...]
+    # Work-array positions whose component must pass the 0-sink check
+    # (retiring endpoints, in the legacy (u, v) probe order).
+    leaving_positions: Tuple[int, ...]
+    # True when the layer neither admits nor retires vertices and keeps the
+    # frontier order: the no-merge transition is then the identity map, so
+    # the interned construction reuses the parent state object wholesale.
+    identity: bool
 
 
 class TransitionTable:
@@ -164,16 +192,42 @@ class TransitionTable:
             degrees_before.get(vertex, 1) for vertex in frontier_before
         )
 
+        u_leaves = edge.u in leaving
+        v_leaves = edge.v in leaving
+        leaving_positions = tuple(
+            position
+            for position, leaves in (
+                (position_of[edge.u], u_leaves),
+                (position_of[edge.v], v_leaves),
+            )
+            if leaves
+        )
+        identity = (
+            not entering
+            and not leaving
+            and after_positions == tuple(range(len(after_positions)))
+        )
+
         return _LayerContext(
             u_position=position_of[edge.u],
             v_position=position_of[edge.v],
             is_loop=edge.u == edge.v,
             entering_terminal=entering_terminal,
             after_positions=after_positions,
-            u_leaves=edge.u in leaving,
-            v_leaves=edge.v in leaving,
+            u_leaves=u_leaves,
+            v_leaves=v_leaves,
             frontier_degrees=frontier_degrees,
+            leaving_positions=leaving_positions,
+            identity=identity,
         )
+
+    def layer(self, layer_index: int) -> _LayerContext:
+        """The precomputed index maps for one layer.
+
+        The interned S²BDD construction drives its inlined transition
+        straight off these maps instead of calling :meth:`apply` per node.
+        """
+        return self._layers[layer_index]
 
     # ------------------------------------------------------------------
     # Transition

@@ -31,8 +31,11 @@ from repro.core.bounds import ReliabilityBounds
 from repro.core.reliability import ReliabilityResult
 from repro.core.s2bdd import S2BDD, S2BDDResult
 from repro.engine.config import EstimatorConfig
+from repro.engine.diagrams import DiagramCache, diagram_key
 from repro.graph.components import GraphDecomposition
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.obs import get_registry
+from repro.obs.trace import span
 from repro.preprocess.pipeline import PreprocessResult, preprocess
 from repro.utils.rng import resolve_rng, spawn_rng
 from repro.utils.timers import Timer
@@ -70,6 +73,34 @@ class S2BDDBackend(_BackendBase):
     """The paper's approach: extension technique + S²BDD + stratified sampling."""
 
     name = "s2bdd"
+
+    def __init__(self, config: EstimatorConfig) -> None:
+        super().__init__(config)
+        self._diagram_cache: Optional[DiagramCache] = None
+
+    def attach_diagram_cache(self, cache: DiagramCache) -> None:
+        """Adopt an engine-owned constructed-diagram cache.
+
+        Called by :class:`~repro.engine.engine.ReliabilityEngine` right
+        after backend creation; a standalone backend (no engine) simply
+        runs uncached.
+        """
+        self._diagram_cache = cache
+
+    @property
+    def diagram_cache(self) -> Optional[DiagramCache]:
+        """The attached constructed-diagram cache, if any."""
+        return self._diagram_cache
+
+    @staticmethod
+    def _construction_histogram():
+        # Declared lazily (idempotent) so importing the module never
+        # touches the global registry.
+        return get_registry().histogram(
+            "repro_s2bdd_construction_seconds",
+            "Wall-clock seconds spent constructing S²BDD diagrams "
+            "(cache hits and re-sweeps excluded).",
+        )
 
     def estimate(
         self,
@@ -117,17 +148,38 @@ class S2BDDBackend(_BackendBase):
         subresults: List[S2BDDResult] = []
         all_exact = True
 
+        cache = self._diagram_cache
         for index, (subgraph, subterminals) in enumerate(subproblems):
             sub_rng = spawn_rng(rng, f"subproblem-{index}")
-            bdd = S2BDD(
-                subgraph,
-                subterminals,
-                max_width=config.max_width,
-                edge_ordering=config.edge_ordering,
-                stratum_mass_cutoff=config.stratum_mass_cutoff,
+            key = None
+            cached = None
+            if cache is not None:
+                key = diagram_key(subgraph, subterminals, config)
+                cached = cache.lookup(key, subgraph, owner=id(graph))
+            if cached is not None:
+                bdd, construction = cached
+            else:
+                bdd = S2BDD(
+                    subgraph,
+                    subterminals,
+                    max_width=config.max_width,
+                    edge_ordering=config.edge_ordering,
+                    stratum_mass_cutoff=config.stratum_mass_cutoff,
+                    rng=sub_rng,
+                    use_interned=config.s2bdd_interned,
+                )
+                with span("s2bdd.construct"):
+                    with self._construction_histogram().time():
+                        construction = bdd.construct(config.samples)
+                if cache is not None:
+                    cache.note_built()
+                    cache.store(key, bdd, construction, subgraph, owner=id(graph))
+            result = bdd.run(
+                config.samples,
+                estimator=config.estimator,
                 rng=sub_rng,
+                construction=construction,
             )
-            result = bdd.run(config.samples, estimator=config.estimator)
             subresults.append(result)
             reliability *= result.reliability
             bounds = bounds.combine(result.bounds)

@@ -51,6 +51,14 @@ class EstimatorConfig:
     stratum_mass_cutoff:
         Construction early-exit threshold in ``(0, 1]`` forwarded to
         :class:`~repro.core.s2bdd.S2BDD` (1.0 disables it).
+    s2bdd_interned:
+        Whether the S²BDD backend uses the interned flat-array construction
+        loop.  ``False`` selects the legacy dict-based path, kept as the
+        bit-identical parity reference.
+    s2bdd_cache:
+        Whether the S²BDD backend caches constructed diagrams per
+        (subgraph, terminal set, construction config) and reuses them
+        across queries.  Cached answers are bit-identical to fresh ones.
     rng:
         Seed (int), :class:`random.Random`, or ``None`` for OS seeding.
         Only ``None`` and int seeds are JSON-serializable.
@@ -82,6 +90,8 @@ class EstimatorConfig:
     use_extension: bool = True
     edge_ordering: EdgeOrdering = EdgeOrdering.BFS
     stratum_mass_cutoff: float = 0.5
+    s2bdd_interned: bool = True
+    s2bdd_cache: bool = True
     rng: RandomLike = None
     exact_bdd_node_limit: int = 2_000_000
     brute_force_max_edges: int = 25
@@ -145,6 +155,8 @@ class EstimatorConfig:
             "use_extension": self.use_extension,
             "edge_ordering": self.edge_ordering.value,
             "stratum_mass_cutoff": self.stratum_mass_cutoff,
+            "s2bdd_interned": self.s2bdd_interned,
+            "s2bdd_cache": self.s2bdd_cache,
             "rng": self.rng,
             "exact_bdd_node_limit": self.exact_bdd_node_limit,
             "brute_force_max_edges": self.brute_force_max_edges,

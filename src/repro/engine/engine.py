@@ -40,6 +40,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.config import EstimatorConfig
 from repro.engine.deltas import DeltaOp, GraphDelta, as_graph_delta
+from repro.engine.diagrams import DiagramCache
 from repro.engine.queries import Query, QueryContext, QueryResult, validate_query_terminals
 from repro.engine.registry import ReliabilityBackend, create_backend
 from repro.engine.worlds import WorldPool
@@ -129,6 +130,24 @@ class EngineStats:
         Every delta class invalidates pools (sampled worlds bake in the
         probabilities), so this roughly tracks ``deltas_applied`` times
         the pools cached per graph.
+    s2bdds_built:
+        How many S²BDD diagrams the s2bdd backend constructed from
+        scratch.  A repeated-terminal-set workload should see this stay
+        near the number of *distinct* subproblems, with the rest answered
+        from the constructed-diagram cache.
+    s2bdd_cache_hits:
+        How often an s2bdd query reused a cached constructed diagram
+        as-is (identical subproblem, terminals, config, and edge
+        probabilities).  Each hit skips the construction sweep entirely.
+    s2bdd_resweeps:
+        How often a probability-only change was absorbed by re-sweeping a
+        cached diagram's arc structure with the new probabilities instead
+        of rebuilding it — the dynamic-graph fast path for constructed
+        S²BDDs (see :class:`~repro.engine.diagrams.DiagramCache`).
+    s2bdd_cache_evictions:
+        How many cached constructed diagrams were dropped — by the LRU
+        retention bound, by a topology delta on their owning graph, or by
+        an explicit cache reset.
     """
 
     decompositions_computed: int = 0
@@ -144,6 +163,10 @@ class EngineStats:
     incremental_prepares: int = 0
     full_prepares: int = 0
     pools_invalidated: int = 0
+    s2bdds_built: int = 0
+    s2bdd_cache_hits: int = 0
+    s2bdd_resweeps: int = 0
+    s2bdd_cache_evictions: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
@@ -193,10 +216,16 @@ class DeltaOutcome:
         delta changed topology and forced a full re-prepare.
     pools_invalidated:
         How many cached world pools this delta dropped.
+    diagrams_evicted:
+        How many cached constructed S²BDDs this delta dropped.  Zero on
+        the probability-only path: diagram structure depends on topology
+        and edge order alone, so those entries survive and are lazily
+        re-swept with the new probabilities on their next lookup.
     """
 
     incremental: bool
     pools_invalidated: int
+    diagrams_evicted: int = 0
 
 
 class ReliabilityEngine:
@@ -230,6 +259,17 @@ class ReliabilityEngine:
             config = config.replace(**overrides)
         self._config = config
         self._backend = create_backend(config.backend, config)
+        self._stats = EngineStats()
+        # Constructed-diagram cache (s2bdd backend only): attached via the
+        # duck-typed hook so third-party backends opt in by providing it.
+        # Attached even when disabled so `s2bdds_built` still counts.
+        self._diagrams: Optional[DiagramCache] = None
+        attach_diagrams = getattr(self._backend, "attach_diagram_cache", None)
+        if callable(attach_diagrams):
+            self._diagrams = DiagramCache(
+                enabled=config.s2bdd_cache, stats=self._stats
+            )
+            attach_diagrams(self._diagrams)
         # id(graph) -> (graph, decomposition, topology fingerprint); the
         # strong graph reference keeps identities stable for the cache key.
         self._cache: Dict[int, Tuple[object, GraphDecomposition, Tuple[int, int, int]]] = {}
@@ -241,7 +281,6 @@ class ReliabilityEngine:
             int, Tuple[Tuple, Dict[Tuple[int, int], WorldPool], object]
         ] = {}
         self._active: Optional[object] = None
-        self._stats = EngineStats()
         # Derive a stable 64-bit base seed for per-query RNG spawning.  An
         # int-seeded config gives a fully reproducible session; a Random
         # instance contributes (and advances) its stream once, here.
@@ -264,6 +303,16 @@ class ReliabilityEngine:
     def backend_name(self) -> str:
         """Registry name of the active backend."""
         return self._config.backend
+
+    @property
+    def diagram_cache(self) -> Optional[DiagramCache]:
+        """The session's constructed-diagram cache (s2bdd backend only).
+
+        ``None`` for backends without the ``attach_diagram_cache`` hook;
+        present but :attr:`~repro.engine.diagrams.DiagramCache.enabled`
+        ``False`` when the config sets ``s2bdd_cache=False``.
+        """
+        return self._diagrams
 
     @property
     def stats(self) -> EngineStats:
@@ -404,7 +453,11 @@ class ReliabilityEngine:
             self._stats.pools_invalidated += dropped
         else:
             dropped = 0
+        diagrams_evicted = 0
         if probability_only:
+            # Constructed diagrams survive: their arc structure depends on
+            # topology and edge order alone, so the next lookup re-sweeps
+            # them with the refreshed probabilities instead of rebuilding.
             refresh_compiled_probabilities(graph)
             self._stats.incremental_prepares += 1
         else:
@@ -414,22 +467,35 @@ class ReliabilityEngine:
             # fingerprints unchanged while the structure differs.
             self._cache.pop(id(graph), None)  # reprolint: ok(RNG002)
             invalidate_compiled(graph)
+            if self._diagrams is not None:
+                diagrams_evicted = self._diagrams.invalidate_owner(
+                    id(graph)  # reprolint: ok(RNG002)
+                )
             self._stats.full_prepares += 1
             self.prepare(graph)
         self._active = graph
-        return DeltaOutcome(incremental=probability_only, pools_invalidated=dropped)
+        return DeltaOutcome(
+            incremental=probability_only,
+            pools_invalidated=dropped,
+            diagrams_evicted=diagrams_evicted,
+        )
 
     def forget(self, graph) -> None:
-        """Drop ``graph`` from the decomposition and world-pool caches."""
+        """Drop ``graph`` from the decomposition, world-pool, and diagram caches."""
         self._cache.pop(id(graph), None)
         self._world_pools.pop(id(graph), None)
+        if self._diagrams is not None:
+            self._diagrams.invalidate_owner(id(graph))  # reprolint: ok(RNG002)
         if self._active is graph:
             self._active = None
 
     def reset_cache(self) -> None:
-        """Drop every cached decomposition, world pool, and the active graph."""
+        """Drop every cached decomposition, world pool, constructed diagram,
+        and the active graph."""
         self._cache.clear()
         self._world_pools.clear()
+        if self._diagrams is not None:
+            self._diagrams.clear()
         self._active = None
 
     # ------------------------------------------------------------------

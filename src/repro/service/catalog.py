@@ -6,8 +6,13 @@ files loaded through :mod:`repro.graph.io`, or caller-built graphs), each
 stamped with a content fingerprint and served by prepared
 :class:`~repro.engine.engine.ReliabilityEngine` sessions.  One engine
 exists per ``(graph, config)`` pair, so every client of the service shares
-the same 2-edge-connected decomposition index and the same cached world
-pools instead of re-preparing per request.
+the same 2-edge-connected decomposition index, the same cached world
+pools, and — for the s2bdd backend — the same constructed-diagram cache
+(:class:`~repro.engine.diagrams.DiagramCache`) instead of re-preparing
+per request.  Constructed diagrams survive probability-only
+:meth:`GraphCatalog.update` deltas (they are re-swept with the new
+probabilities on next lookup) and are evicted, scoped to the updated
+graph, on topology deltas.
 
 Fingerprints here are *content* fingerprints (a SHA-256 over the vertex
 and edge lists), not the in-process ``topology_fingerprint()`` stamp: the
@@ -291,9 +296,11 @@ class GraphCatalog:
         ``to_dict`` wire form) is validated first — a rejected delta
         leaves graph, engines, and entry untouched.  On success every
         engine prepared for ``name`` is re-synced (incrementally for
-        probability-only deltas: the decomposition index and compiled CSR
-        survive), and the entry's fingerprint is recomputed with its
-        version bumped.
+        probability-only deltas: the decomposition index, compiled CSR,
+        and constructed S²BDD diagrams survive — the latter re-swept with
+        the new probabilities on next lookup; topology deltas evict the
+        diagrams scoped to this graph), and the entry's fingerprint is
+        recomputed with its version bumped.
 
         The caller owns invalidation of results cached under the returned
         ``old_fingerprint`` (:class:`~repro.service.core.ReliabilityService`

@@ -320,6 +320,88 @@ class TestEngineApplyDelta:
 
 
 # ----------------------------------------------------------------------
+# Constructed-diagram cache across deltas (the PR 8 contract)
+# ----------------------------------------------------------------------
+class TestDiagramCacheDeltas:
+    def test_topology_delta_evicts_diagrams(self, karate):
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend="s2bdd", samples=150, rng=7)
+        ).prepare(karate)
+        first_query_checksum(engine, karate, SIX_KINDS)
+        assert len(engine.diagram_cache) > 0
+
+        outcome = engine.apply_delta(TOPO_DELTA, karate)
+        assert not outcome.incremental
+        assert outcome.diagrams_evicted > 0
+        assert engine.stats.s2bdd_cache_evictions == outcome.diagrams_evicted
+        # Scoped: every diagram owned by the mutated graph is gone.  Entries
+        # built against derived subgraphs (the subgraph query's induced
+        # graphs) may survive — they are content-addressed, so they can
+        # never serve a stale answer, and the LRU bound reclaims them.
+        with engine.diagram_cache._lock:
+            owners = {
+                entry.owner for entry in engine.diagram_cache._entries.values()
+            }
+        assert id(karate) not in owners
+
+        reference = load_dataset("karate")
+        TOPO_DELTA.apply_to(reference)
+        fresh = ReliabilityEngine(
+            EstimatorConfig(backend="s2bdd", samples=150, rng=7)
+        ).prepare(reference)
+        assert first_query_checksum(engine, karate, SIX_KINDS) == (
+            first_query_checksum(fresh, reference, SIX_KINDS)
+        )
+
+    def test_probability_delta_resweeps_without_rebuilding(self, karate):
+        # max_width=12_000 keeps this workload's diagram exact with no
+        # priority sort, i.e. replay-safe; edge 7 survives preprocessing
+        # into the cached subproblem (edge 0 would be pruned away).
+        from repro.experiments.workloads import (
+            generate_searches,
+            queries_from_searches,
+        )
+
+        config = EstimatorConfig(
+            backend="s2bdd", samples=150, rng=7, max_width=12_000
+        )
+        engine = ReliabilityEngine(config).prepare(karate)
+        searches = generate_searches(karate, "karate", 3, 1, seed=2019)
+        queries = [
+            query
+            for kind in ("k-terminal", "threshold")
+            for query in queries_from_searches(searches, kind, threshold=0.3)
+        ]
+        first_query_checksum(engine, karate, queries)
+        built = engine.stats.s2bdds_built
+        assert built > 0
+
+        delta = GraphDelta((SetEdgeProbability(edge_id=7, probability=0.25),))
+        outcome = engine.apply_delta(delta, karate)
+        assert outcome.incremental
+        assert outcome.diagrams_evicted == 0
+        assert len(engine.diagram_cache) > 0
+
+        updated = first_query_checksum(engine, karate, queries)
+        assert engine.stats.s2bdd_resweeps > 0
+        assert engine.stats.s2bdds_built == built
+
+        reference = load_dataset("karate")
+        delta.apply_to(reference)
+        fresh = ReliabilityEngine(config).prepare(reference)
+        assert updated == first_query_checksum(fresh, reference, queries)
+
+    def test_forget_evicts_that_graphs_diagrams(self, karate):
+        engine = ReliabilityEngine(
+            EstimatorConfig(backend="s2bdd", samples=150, rng=7)
+        ).prepare(karate)
+        engine.query(KTerminalQuery(terminals=(1, 34)))
+        assert len(engine.diagram_cache) > 0
+        engine.forget(karate)
+        assert len(engine.diagram_cache) == 0
+
+
+# ----------------------------------------------------------------------
 # Scoped invalidation: cache and shared store
 # ----------------------------------------------------------------------
 class TestScopedInvalidation:

@@ -49,6 +49,17 @@ class TestNodeState:
         state = NodeState((0, 1, 0), (1, 0))
         assert state.component_of(["x", "y", "z"]) == {"x": 0, "y": 1, "z": 0}
 
+    def test_merge_key_is_memoised(self):
+        state = NodeState((0, 1), (2, 0))
+        assert state.merge_key() is state.merge_key()
+
+    def test_component_of_is_memoised_per_frontier(self):
+        state = NodeState((0, 1, 0), (1, 0))
+        frontier = ("x", "y", "z")
+        assert state.component_of(frontier) is state.component_of(frontier)
+        # A different frontier must not serve the stale mapping.
+        assert state.component_of(("a", "b", "c")) == {"a": 0, "b": 1, "c": 0}
+
     def test_initial_state_is_empty(self):
         state = initial_state()
         assert state.partition == ()
